@@ -1,0 +1,252 @@
+//! Runtime monitoring: the feedback Apparate gets "for free" because every
+//! input still runs to the end of the model.
+//!
+//! For every request and every active ramp the controller records the ramp's
+//! highest-confidence result and error score — *irrespective of upstream
+//! exiting decisions* (§3.2). The monitor maintains:
+//!
+//! * a short accuracy window (16 samples) whose violation triggers threshold
+//!   tuning,
+//! * a longer tuning window of full per-ramp observations used to evaluate
+//!   counterfactual threshold configurations without extra inference,
+//! * per-ramp exit counters since the last ramp-adjustment round, used for
+//!   utility scores and candidate exit-rate bounds (§3.3).
+
+use apparate_exec::RampObservation;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Feedback recorded for one request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestFeedback {
+    /// Observation at every *active* ramp, in ramp order.
+    pub observations: Vec<RampObservation>,
+    /// The ramp index the deployed configuration exited this request at.
+    pub exited: Option<usize>,
+    /// Whether the released result matched the original model.
+    pub correct: bool,
+    /// Batch size the request was served with.
+    pub batch_size: u32,
+}
+
+/// The controller's monitoring state.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    num_ramps: usize,
+    accuracy_capacity: usize,
+    tuning_capacity: usize,
+    accuracy_window: VecDeque<bool>,
+    tuning_window: VecDeque<RequestFeedback>,
+    ramp_exits: Vec<u64>,
+    requests_since_adjust: u64,
+    total_requests: u64,
+    total_correct: u64,
+}
+
+impl Monitor {
+    /// Create a monitor for `num_ramps` active ramps.
+    pub fn new(num_ramps: usize, accuracy_capacity: usize, tuning_capacity: usize) -> Monitor {
+        assert!(accuracy_capacity > 0 && tuning_capacity > 0);
+        Monitor {
+            num_ramps,
+            accuracy_capacity,
+            tuning_capacity,
+            accuracy_window: VecDeque::with_capacity(accuracy_capacity),
+            tuning_window: VecDeque::with_capacity(tuning_capacity),
+            ramp_exits: vec![0; num_ramps],
+            requests_since_adjust: 0,
+            total_requests: 0,
+            total_correct: 0,
+        }
+    }
+
+    /// Number of ramps currently monitored.
+    pub fn num_ramps(&self) -> usize {
+        self.num_ramps
+    }
+
+    /// Record feedback for one request.
+    pub fn record(&mut self, feedback: RequestFeedback) {
+        debug_assert_eq!(feedback.observations.len(), self.num_ramps);
+        if self.accuracy_window.len() == self.accuracy_capacity {
+            self.accuracy_window.pop_front();
+        }
+        self.accuracy_window.push_back(feedback.correct);
+        if let Some(idx) = feedback.exited {
+            if idx < self.num_ramps {
+                self.ramp_exits[idx] += 1;
+            }
+        }
+        self.requests_since_adjust += 1;
+        self.total_requests += 1;
+        if feedback.correct {
+            self.total_correct += 1;
+        }
+        if self.tuning_window.len() == self.tuning_capacity {
+            self.tuning_window.pop_front();
+        }
+        self.tuning_window.push_back(feedback);
+    }
+
+    /// Accuracy over the short trigger window (1.0 when empty).
+    pub fn windowed_accuracy(&self) -> f64 {
+        if self.accuracy_window.is_empty() {
+            return 1.0;
+        }
+        self.accuracy_window.iter().filter(|&&c| c).count() as f64 / self.accuracy_window.len() as f64
+    }
+
+    /// True once the trigger window has filled at least once.
+    pub fn accuracy_window_full(&self) -> bool {
+        self.accuracy_window.len() == self.accuracy_capacity
+    }
+
+    /// Cumulative accuracy since the monitor was created.
+    pub fn cumulative_accuracy(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 1.0;
+        }
+        self.total_correct as f64 / self.total_requests as f64
+    }
+
+    /// The recorded tuning window (oldest first).
+    pub fn tuning_records(&self) -> Vec<RequestFeedback> {
+        self.tuning_window.iter().cloned().collect()
+    }
+
+    /// Number of records currently in the tuning window.
+    pub fn tuning_window_len(&self) -> usize {
+        self.tuning_window.len()
+    }
+
+    /// Per-ramp exit rates since the last ramp adjustment.
+    pub fn exit_rates(&self) -> Vec<f64> {
+        if self.requests_since_adjust == 0 {
+            return vec![0.0; self.num_ramps];
+        }
+        self.ramp_exits
+            .iter()
+            .map(|&e| e as f64 / self.requests_since_adjust as f64)
+            .collect()
+    }
+
+    /// Raw per-ramp exit counts since the last ramp adjustment.
+    pub fn exit_counts(&self) -> &[u64] {
+        &self.ramp_exits
+    }
+
+    /// Requests observed since the last ramp adjustment.
+    pub fn requests_since_adjust(&self) -> u64 {
+        self.requests_since_adjust
+    }
+
+    /// Total requests observed.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Reset ramp-aligned state after the active ramp set changed; previous
+    /// observations no longer line up with the new ramp indices.
+    pub fn reset_for_new_ramps(&mut self, num_ramps: usize) {
+        self.num_ramps = num_ramps;
+        self.ramp_exits = vec![0; num_ramps];
+        self.requests_since_adjust = 0;
+        self.tuning_window.clear();
+        // The accuracy trigger window deliberately survives: accuracy is a
+        // property of released results, not of any particular ramp set.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feedback(entropies: &[f64], exited: Option<usize>, correct: bool) -> RequestFeedback {
+        RequestFeedback {
+            observations: entropies
+                .iter()
+                .map(|&e| RampObservation { entropy: e, agrees: correct })
+                .collect(),
+            exited,
+            correct,
+            batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn accuracy_window_tracks_recent_results() {
+        let mut m = Monitor::new(2, 4, 16);
+        assert_eq!(m.windowed_accuracy(), 1.0);
+        for _ in 0..4 {
+            m.record(feedback(&[0.1, 0.1], Some(0), true));
+        }
+        assert!(m.accuracy_window_full());
+        assert_eq!(m.windowed_accuracy(), 1.0);
+        for _ in 0..2 {
+            m.record(feedback(&[0.1, 0.1], Some(0), false));
+        }
+        assert!((m.windowed_accuracy() - 0.5).abs() < 1e-9);
+        // The window slides: four more correct results push the errors out.
+        for _ in 0..4 {
+            m.record(feedback(&[0.1, 0.1], None, true));
+        }
+        assert_eq!(m.windowed_accuracy(), 1.0);
+        assert!(m.cumulative_accuracy() < 1.0);
+    }
+
+    #[test]
+    fn exit_rates_count_per_ramp() {
+        let mut m = Monitor::new(3, 16, 64);
+        for i in 0..10 {
+            let exited = match i % 3 {
+                0 => Some(0),
+                1 => Some(2),
+                _ => None,
+            };
+            m.record(feedback(&[0.5, 0.5, 0.5], exited, true));
+        }
+        let rates = m.exit_rates();
+        assert!((rates[0] - 0.4).abs() < 1e-9);
+        assert_eq!(rates[1], 0.0);
+        assert!((rates[2] - 0.3).abs() < 1e-9);
+        assert_eq!(m.requests_since_adjust(), 10);
+        assert_eq!(m.exit_counts(), &[4, 0, 3]);
+    }
+
+    #[test]
+    fn tuning_window_is_bounded() {
+        let mut m = Monitor::new(1, 16, 8);
+        for i in 0..20 {
+            m.record(feedback(&[i as f64 / 20.0], None, true));
+        }
+        assert_eq!(m.tuning_window_len(), 8);
+        let records = m.tuning_records();
+        // The oldest retained record is request 12 (entropy 0.6).
+        assert!((records[0].observations[0].entropy - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_ramp_state_but_keeps_accuracy() {
+        let mut m = Monitor::new(2, 4, 8);
+        for _ in 0..4 {
+            m.record(feedback(&[0.1, 0.1], Some(1), false));
+        }
+        assert!(m.windowed_accuracy() < 1.0);
+        m.reset_for_new_ramps(3);
+        assert_eq!(m.num_ramps(), 3);
+        assert_eq!(m.exit_counts(), &[0, 0, 0]);
+        assert_eq!(m.requests_since_adjust(), 0);
+        assert_eq!(m.tuning_window_len(), 0);
+        // Accuracy history survives, so a violation can still trigger tuning
+        // right after an adjustment.
+        assert!(m.windowed_accuracy() < 1.0);
+        assert_eq!(m.total_requests(), 4);
+    }
+
+    #[test]
+    fn empty_exit_rates_are_zero() {
+        let m = Monitor::new(2, 16, 64);
+        assert_eq!(m.exit_rates(), vec![0.0, 0.0]);
+        assert_eq!(m.cumulative_accuracy(), 1.0);
+    }
+}

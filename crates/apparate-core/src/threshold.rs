@@ -1,0 +1,381 @@
+//! Accuracy-aware threshold tuning (§3.2, Algorithm 1).
+//!
+//! Because every input runs to the end of the model, the controller can
+//! evaluate *any* candidate threshold configuration purely from recorded
+//! observations: for each recorded request, find the earliest active ramp
+//! whose entropy falls below its candidate threshold, check whether that
+//! ramp's prediction agreed with the original model, and add up the latency
+//! that exiting there would have saved. No extra inference is needed.
+//!
+//! The search itself is the paper's greedy hill climb: thresholds start at 0,
+//! each round raises the single threshold that buys the most additional
+//! latency savings per unit of additional accuracy loss, with
+//! multiplicative-increase / multiplicative-decrease step sizing. A full grid
+//! search is also provided for the Figure 10 comparison.
+
+use crate::monitor::RequestFeedback;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Evaluation of one threshold configuration over a window of records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigEvaluation {
+    /// Fraction of requests whose released result matches the original model.
+    pub accuracy: f64,
+    /// Mean latency saved per request, in µs (0 for non-exiting requests).
+    pub mean_savings_us: f64,
+    /// Fraction of requests that exit at some ramp.
+    pub exit_rate: f64,
+}
+
+/// Evaluator over a recorded window.
+pub struct ThresholdEvaluator<'a> {
+    records: &'a [RequestFeedback],
+    /// Latency saved when a request exits at ramp `i` instead of running to the
+    /// end (µs), including the ramp overheads it still pays.
+    savings_us: &'a [f64],
+}
+
+impl<'a> ThresholdEvaluator<'a> {
+    /// Create an evaluator. `savings_us[i]` must correspond to ramp `i` of the
+    /// recorded observations.
+    pub fn new(records: &'a [RequestFeedback], savings_us: &'a [f64]) -> Self {
+        ThresholdEvaluator { records, savings_us }
+    }
+
+    /// Number of ramps being tuned.
+    pub fn num_ramps(&self) -> usize {
+        self.savings_us.len()
+    }
+
+    /// Evaluate a threshold configuration.
+    pub fn evaluate(&self, thresholds: &[f64]) -> ConfigEvaluation {
+        debug_assert_eq!(thresholds.len(), self.savings_us.len());
+        if self.records.is_empty() {
+            return ConfigEvaluation {
+                accuracy: 1.0,
+                mean_savings_us: 0.0,
+                exit_rate: 0.0,
+            };
+        }
+        let mut correct = 0usize;
+        let mut savings = 0.0f64;
+        let mut exits = 0usize;
+        for record in self.records {
+            let exit = record
+                .observations
+                .iter()
+                .zip(thresholds.iter())
+                .position(|(obs, &thr)| thr > 0.0 && obs.entropy <= thr);
+            match exit {
+                Some(idx) => {
+                    exits += 1;
+                    if record.observations[idx].agrees {
+                        correct += 1;
+                    }
+                    savings += self.savings_us[idx];
+                }
+                None => correct += 1,
+            }
+        }
+        let n = self.records.len() as f64;
+        ConfigEvaluation {
+            accuracy: correct as f64 / n,
+            mean_savings_us: savings / n,
+            exit_rate: exits as f64 / n,
+        }
+    }
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    /// The selected thresholds.
+    pub thresholds: Vec<f64>,
+    /// Evaluation of the selected configuration on the tuning window.
+    pub evaluation: ConfigEvaluation,
+    /// Number of configuration evaluations performed.
+    pub evaluations: usize,
+    /// Wall-clock runtime of the search in microseconds (real time, not
+    /// simulated — this is the controller CPU cost reported in Figure 10).
+    pub runtime_us: f64,
+}
+
+/// Parameters of the greedy search.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GreedyParams {
+    /// Maximum tolerated accuracy loss (e.g. 0.01).
+    pub accuracy_loss_budget: f64,
+    /// Initial per-ramp step size (0.1).
+    pub initial_step: f64,
+    /// Smallest step size (0.01).
+    pub smallest_step: f64,
+}
+
+impl Default for GreedyParams {
+    fn default() -> Self {
+        GreedyParams {
+            accuracy_loss_budget: 0.01,
+            initial_step: 0.1,
+            smallest_step: 0.01,
+        }
+    }
+}
+
+/// Algorithm 1: greedy hill-climbing threshold tuning.
+pub fn greedy_tune(evaluator: &ThresholdEvaluator<'_>, params: GreedyParams) -> TuningOutcome {
+    let start = Instant::now();
+    let n = evaluator.num_ramps();
+    let mut thresholds = vec![0.0f64; n];
+    let mut steps = vec![params.initial_step; n];
+    let mut evaluations = 0usize;
+    let accuracy_floor = 1.0 - params.accuracy_loss_budget;
+    let mut current = evaluator.evaluate(&thresholds);
+    evaluations += 1;
+    // Safety bound far above anything the algorithm needs; prevents a
+    // pathological window from spinning forever.
+    let max_rounds = 10_000usize;
+    for _ in 0..max_rounds {
+        let mut best: Option<(usize, f64, ConfigEvaluation)> = None;
+        let mut overstepped: Vec<usize> = Vec::new();
+        let mut any_candidate = false;
+        for ramp in 0..n {
+            let proposed = (thresholds[ramp] + steps[ramp]).min(1.0);
+            if proposed <= thresholds[ramp] {
+                continue; // already saturated at 1.0
+            }
+            any_candidate = true;
+            let mut candidate = thresholds.clone();
+            candidate[ramp] = proposed;
+            let eval = evaluator.evaluate(&candidate);
+            evaluations += 1;
+            if eval.accuracy + 1e-12 < accuracy_floor {
+                overstepped.push(ramp);
+                continue;
+            }
+            let extra_savings = eval.mean_savings_us - current.mean_savings_us;
+            let extra_loss = (current.accuracy - eval.accuracy).max(1e-6);
+            let score = extra_savings / extra_loss;
+            let better = match &best {
+                None => true,
+                Some((_, best_score, _)) => score > *best_score,
+            };
+            if better {
+                best = Some((ramp, score, eval));
+            }
+        }
+        if !any_candidate {
+            break; // every threshold is saturated
+        }
+        match best {
+            Some((ramp, _, eval)) => {
+                thresholds[ramp] = (thresholds[ramp] + steps[ramp]).min(1.0);
+                steps[ramp] *= 2.0; // multiplicative increase on a promising path
+                current = eval;
+            }
+            None => {
+                if steps.iter().all(|&s| s <= params.smallest_step) {
+                    break;
+                }
+                for &ramp in &overstepped {
+                    steps[ramp] /= 2.0; // multiplicative decrease to hone the boundary
+                }
+                if overstepped.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    TuningOutcome {
+        thresholds,
+        evaluation: current,
+        evaluations,
+        runtime_us: start.elapsed().as_secs_f64() * 1e6,
+    }
+}
+
+/// Exhaustive grid search over thresholds in `{0, step, 2·step, …, 1}` per
+/// ramp; the Figure 10 baseline. Cost is `O((1/step + 1)^R)` evaluations.
+pub fn grid_tune(
+    evaluator: &ThresholdEvaluator<'_>,
+    accuracy_loss_budget: f64,
+    step: f64,
+) -> TuningOutcome {
+    let start = Instant::now();
+    let n = evaluator.num_ramps();
+    let levels: Vec<f64> = {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        while t < 1.0 + 1e-9 {
+            v.push(t.min(1.0));
+            t += step;
+        }
+        v
+    };
+    let accuracy_floor = 1.0 - accuracy_loss_budget;
+    let mut best_thresholds = vec![0.0f64; n];
+    let mut best_eval = evaluator.evaluate(&best_thresholds);
+    let mut evaluations = 1usize;
+    let mut indices = vec![0usize; n];
+    loop {
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                let outcome = TuningOutcome {
+                    thresholds: best_thresholds,
+                    evaluation: best_eval,
+                    evaluations,
+                    runtime_us: start.elapsed().as_secs_f64() * 1e6,
+                };
+                return outcome;
+            }
+            indices[pos] += 1;
+            if indices[pos] < levels.len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+        let candidate: Vec<f64> = indices.iter().map(|&i| levels[i]).collect();
+        let eval = evaluator.evaluate(&candidate);
+        evaluations += 1;
+        if eval.accuracy + 1e-12 >= accuracy_floor && eval.mean_savings_us > best_eval.mean_savings_us {
+            best_eval = eval;
+            best_thresholds = candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apparate_exec::RampObservation;
+    use apparate_sim::DeterministicRng;
+
+    /// Build a synthetic window with two ramps whose entropies fall with
+    /// difficulty; ramp 1 is deeper (more accurate, lower entropy).
+    fn window(n: usize, seed: u64) -> Vec<RequestFeedback> {
+        let rng = DeterministicRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let difficulty = rng.unit_draw(&[i as u64, 1]);
+                let noise = rng.normal_draw(&[i as u64, 2]) * 0.05;
+                let shallow_margin = 0.55 - difficulty + noise;
+                let deep_margin = 0.85 - difficulty + noise;
+                let obs = |margin: f64| RampObservation {
+                    entropy: (1.0 / (1.0 + (margin / 0.1).exp())).clamp(0.0, 1.0),
+                    agrees: margin > 0.0,
+                };
+                RequestFeedback {
+                    observations: vec![obs(shallow_margin), obs(deep_margin)],
+                    exited: None,
+                    correct: true,
+                    batch_size: 1,
+                }
+            })
+            .collect()
+    }
+
+    const SAVINGS: [f64; 2] = [10_000.0, 4_000.0];
+
+    #[test]
+    fn zero_thresholds_never_exit() {
+        let records = window(200, 1);
+        let eval = ThresholdEvaluator::new(&records, &SAVINGS).evaluate(&[0.0, 0.0]);
+        assert_eq!(eval.exit_rate, 0.0);
+        assert_eq!(eval.accuracy, 1.0);
+        assert_eq!(eval.mean_savings_us, 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_monotone_in_thresholds() {
+        let records = window(400, 2);
+        let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
+        let mut last_exit = 0.0;
+        let mut last_acc = 1.0;
+        for thr in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let eval = evaluator.evaluate(&[thr, thr]);
+            assert!(eval.exit_rate >= last_exit - 1e-9);
+            assert!(eval.accuracy <= last_acc + 1e-9);
+            last_exit = eval.exit_rate;
+            last_acc = eval.accuracy;
+        }
+    }
+
+    #[test]
+    fn greedy_respects_accuracy_budget() {
+        let records = window(500, 3);
+        let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
+        let outcome = greedy_tune(&evaluator, GreedyParams::default());
+        assert!(outcome.evaluation.accuracy >= 0.99 - 1e-9);
+        assert!(outcome.evaluation.mean_savings_us > 0.0, "greedy should find some savings");
+        assert!(outcome.thresholds.iter().all(|&t| (0.0..=1.0).contains(&t)));
+    }
+
+    #[test]
+    fn greedy_matches_grid_closely_but_much_cheaper() {
+        let records = window(300, 4);
+        let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
+        let greedy = greedy_tune(&evaluator, GreedyParams::default());
+        let grid = grid_tune(&evaluator, 0.01, 0.1);
+        assert!(grid.evaluation.accuracy >= 0.99 - 1e-9);
+        // §3.2: greedy is within 0–3.8 % of the optimal latency savings.
+        assert!(
+            greedy.evaluation.mean_savings_us >= grid.evaluation.mean_savings_us * 0.9,
+            "greedy {} vs grid {}",
+            greedy.evaluation.mean_savings_us,
+            grid.evaluation.mean_savings_us
+        );
+        assert!(
+            greedy.evaluations * 2 < grid.evaluations,
+            "greedy {} evals vs grid {}",
+            greedy.evaluations,
+            grid.evaluations
+        );
+    }
+
+    #[test]
+    fn tighter_budget_gives_fewer_savings() {
+        let records = window(400, 5);
+        let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
+        let loose = greedy_tune(
+            &evaluator,
+            GreedyParams { accuracy_loss_budget: 0.05, ..Default::default() },
+        );
+        let tight = greedy_tune(
+            &evaluator,
+            GreedyParams { accuracy_loss_budget: 0.005, ..Default::default() },
+        );
+        assert!(loose.evaluation.mean_savings_us >= tight.evaluation.mean_savings_us);
+        assert!(tight.evaluation.accuracy >= 0.995 - 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_benign() {
+        let records: Vec<RequestFeedback> = Vec::new();
+        let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
+        let outcome = greedy_tune(&evaluator, GreedyParams::default());
+        assert_eq!(outcome.evaluation.accuracy, 1.0);
+        assert_eq!(outcome.evaluation.mean_savings_us, 0.0);
+    }
+
+    #[test]
+    fn grid_search_explores_the_full_lattice() {
+        let records = window(50, 6);
+        let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
+        let grid = grid_tune(&evaluator, 0.01, 0.25);
+        // 5 levels per ramp (0, .25, .5, .75, 1.0) over 2 ramps = 25 configs.
+        assert_eq!(grid.evaluations, 25);
+    }
+
+    #[test]
+    fn greedy_prefers_the_more_valuable_ramp() {
+        // Savings strongly favour ramp 0; with both ramps equally accurate the
+        // search should raise ramp 0's threshold at least as far as ramp 1's.
+        let records = window(400, 7);
+        let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
+        let outcome = greedy_tune(&evaluator, GreedyParams { accuracy_loss_budget: 0.02, ..Default::default() });
+        assert!(outcome.thresholds[0] >= outcome.thresholds[1] * 0.5);
+    }
+}

@@ -1,0 +1,356 @@
+//! The execution engine: timing and observation scaffold for a served model
+//! with (optional) early-exit ramps.
+//!
+//! The engine is deliberately *policy free*. It answers two questions:
+//!
+//! * **Timing** — how long does a batch take on the GPU, and at what offset
+//!   within that batch does the computation reach each ramp / the model head?
+//!   (Derived from the calibrated per-layer latency model plus per-ramp costs.)
+//! * **Observations** — what does each ramp report for each request?
+//!   (Delegated to the [`SemanticsModel`].)
+//!
+//! Exiting *decisions* (thresholds, which ramps are active, whether inputs
+//! truly exit or only results do) belong to the policy layers: Apparate's
+//! controller in `apparate-core` and the baselines in `apparate-baselines`.
+
+use crate::semantics::{RampObservation, SampleSemantics, SemanticsModel};
+use apparate_model::{LayerId, LayerLatency, ZooModel};
+use serde::{Deserialize, Serialize};
+
+/// A ramp as seen by the execution engine: where it sits, what it costs, and
+/// how capable it is.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RampPlacement {
+    /// The layer whose output the ramp consumes. Must be a feasible site.
+    pub site: LayerId,
+    /// Latency cost of evaluating the ramp, added to every batch that carries it.
+    pub cost: LayerLatency,
+    /// Predictive capacity of the ramp architecture + training in `[0, 1]`.
+    pub capacity: f64,
+}
+
+/// Execution plan: a model plus an ordered set of ramps, with cached
+/// topological positions for fast prefix-latency queries.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    model: ZooModel,
+    semantics: SemanticsModel,
+    ramps: Vec<RampPlacement>,
+    /// Topological position of each ramp's site (parallel to `ramps`).
+    ramp_positions: Vec<usize>,
+}
+
+impl ExecutionPlan {
+    /// Build a plan. Ramps are sorted by topological position; duplicate sites
+    /// are rejected in debug builds.
+    pub fn new(model: ZooModel, semantics: SemanticsModel, mut ramps: Vec<RampPlacement>) -> ExecutionPlan {
+        ramps.sort_by_key(|r| model.graph.topo_position(r.site));
+        let ramp_positions = ramps
+            .iter()
+            .map(|r| model.graph.topo_position(r.site))
+            .collect::<Vec<_>>();
+        debug_assert!(
+            ramp_positions.windows(2).all(|w| w[0] < w[1]),
+            "duplicate ramp sites in execution plan"
+        );
+        ExecutionPlan {
+            model,
+            semantics,
+            ramps,
+            ramp_positions,
+        }
+    }
+
+    /// Build a plan with no ramps (vanilla serving).
+    pub fn vanilla(model: ZooModel, semantics: SemanticsModel) -> ExecutionPlan {
+        ExecutionPlan::new(model, semantics, Vec::new())
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &ZooModel {
+        &self.model
+    }
+
+    /// The semantics model.
+    pub fn semantics(&self) -> &SemanticsModel {
+        &self.semantics
+    }
+
+    /// Active ramps in topological order.
+    pub fn ramps(&self) -> &[RampPlacement] {
+        &self.ramps
+    }
+
+    /// Number of active ramps.
+    pub fn num_ramps(&self) -> usize {
+        self.ramps.len()
+    }
+
+    /// Normalised depth of a ramp: fraction of the model's layers executed
+    /// before its observation is available.
+    pub fn depth_fraction(&self, ramp_idx: usize) -> f64 {
+        let n = self.model.graph.len();
+        if n <= 1 {
+            return 1.0;
+        }
+        self.ramp_positions[ramp_idx] as f64 / (n - 1) as f64
+    }
+
+    /// Normalised depth of an arbitrary layer site.
+    pub fn depth_fraction_of_site(&self, site: LayerId) -> f64 {
+        let n = self.model.graph.len();
+        if n <= 1 {
+            return 1.0;
+        }
+        self.model.graph.topo_position(site) as f64 / (n - 1) as f64
+    }
+
+    /// Latency of the *original* model (no ramps) for a batch, in µs.
+    pub fn vanilla_total_us(&self, batch: u32) -> f64 {
+        self.model.latency.total_us(batch)
+    }
+
+    /// Total GPU time of a batch when every input runs to the end of the model
+    /// and every active ramp is evaluated (Apparate's execution mode), in µs.
+    pub fn gpu_batch_time_us(&self, batch: u32) -> f64 {
+        self.vanilla_total_us(batch) + self.total_ramp_overhead_us(batch)
+    }
+
+    /// Sum of all active ramps' costs for a batch, in µs.
+    pub fn total_ramp_overhead_us(&self, batch: u32) -> f64 {
+        self.ramps.iter().map(|r| r.cost.latency_us(batch)).sum()
+    }
+
+    /// Offset (from batch start) at which ramp `ramp_idx`'s result is
+    /// available: model prefix up to the ramp's site plus the cost of this and
+    /// all earlier ramps, in µs.
+    pub fn ramp_offset_us(&self, ramp_idx: usize, batch: u32) -> f64 {
+        let prefix = self.model.latency.prefix_us(self.ramp_positions[ramp_idx], batch);
+        let ramp_costs: f64 = self.ramps[..=ramp_idx]
+            .iter()
+            .map(|r| r.cost.latency_us(batch))
+            .sum();
+        prefix + ramp_costs
+    }
+
+    /// Offset at which the original model's final result is available when all
+    /// active ramps are evaluated along the way, in µs.
+    pub fn final_offset_us(&self, batch: u32) -> f64 {
+        self.gpu_batch_time_us(batch)
+    }
+
+    /// Offset of the model prefix up to an arbitrary site with no ramp costs;
+    /// used for optimal-exiting oracles which assume zero ramp overhead (§2.2).
+    pub fn site_prefix_us(&self, site: LayerId, batch: u32) -> f64 {
+        self.model
+            .latency
+            .prefix_us(self.model.graph.topo_position(site), batch)
+    }
+
+    /// Observation of ramp `ramp_idx` for one request.
+    pub fn observe(&self, sample: &SampleSemantics, ramp_idx: usize) -> RampObservation {
+        let ramp = &self.ramps[ramp_idx];
+        self.semantics.observe(
+            sample,
+            ramp.site.0 as u64,
+            self.depth_fraction(ramp_idx),
+            ramp.capacity,
+        )
+    }
+
+    /// Observation a hypothetical ramp at `site` with `capacity` would produce.
+    /// Used by oracles that consider every feasible site.
+    pub fn observe_at_site(
+        &self,
+        sample: &SampleSemantics,
+        site: LayerId,
+        capacity: f64,
+    ) -> RampObservation {
+        self.semantics.observe(
+            sample,
+            site.0 as u64,
+            self.depth_fraction_of_site(site),
+            capacity,
+        )
+    }
+
+    /// Execute a batch: produce, for every request, the observation at every
+    /// active ramp. Timing is queried separately because it is identical for
+    /// all requests in the batch.
+    pub fn execute_batch(&self, samples: &[SampleSemantics]) -> BatchExecution {
+        let per_request = samples
+            .iter()
+            .map(|s| RequestObservations {
+                ramp_observations: (0..self.ramps.len()).map(|i| self.observe(s, i)).collect(),
+            })
+            .collect();
+        BatchExecution {
+            batch_size: samples.len() as u32,
+            per_request,
+        }
+    }
+
+    /// Replace the ramp set, keeping model and semantics (used when the
+    /// controller adjusts ramps at runtime).
+    pub fn with_ramps(&self, ramps: Vec<RampPlacement>) -> ExecutionPlan {
+        ExecutionPlan::new(self.model.clone(), self.semantics.clone(), ramps)
+    }
+}
+
+/// Per-request observations produced by executing one batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestObservations {
+    /// One observation per active ramp, in ramp order.
+    pub ramp_observations: Vec<RampObservation>,
+}
+
+/// Result of executing one batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchExecution {
+    /// Number of requests in the batch.
+    pub batch_size: u32,
+    /// Observations per request, in submission order.
+    pub per_request: Vec<RequestObservations>,
+}
+
+impl BatchExecution {
+    /// Earliest ramp index whose entropy is at or below its threshold, for a
+    /// single request, given per-ramp thresholds. `None` means no exit.
+    ///
+    /// This helper implements the universal exit rule shared by Apparate and
+    /// the static-EE baselines.
+    pub fn earliest_exit(observations: &RequestObservations, thresholds: &[f64]) -> Option<usize> {
+        observations
+            .ramp_observations
+            .iter()
+            .zip(thresholds.iter())
+            .position(|(obs, &thr)| thr > 0.0 && obs.entropy <= thr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::SemanticsModel;
+    use apparate_model::zoo;
+
+    fn lightweight_cost() -> LayerLatency {
+        LayerLatency {
+            fixed_us: 30.0,
+            per_item_us: 10.0,
+            batch_alpha: 0.7,
+        }
+    }
+
+    fn plan_with_ramps(n_ramps: usize) -> ExecutionPlan {
+        let model = zoo::resnet(50);
+        let semantics = SemanticsModel::new(7, model.descriptor.overparameterization);
+        let sites = model.graph.feasible_ramp_sites(None);
+        let step = sites.len() / (n_ramps + 1);
+        let ramps = (1..=n_ramps)
+            .map(|i| RampPlacement {
+                site: sites[i * step],
+                cost: lightweight_cost(),
+                capacity: 0.97,
+            })
+            .collect();
+        ExecutionPlan::new(model, semantics, ramps)
+    }
+
+    #[test]
+    fn vanilla_plan_has_no_overhead() {
+        let model = zoo::vgg(13);
+        let sem = SemanticsModel::new(1, 0.9);
+        let plan = ExecutionPlan::vanilla(model, sem);
+        assert_eq!(plan.num_ramps(), 0);
+        assert_eq!(plan.total_ramp_overhead_us(8), 0.0);
+        assert!((plan.gpu_batch_time_us(4) - plan.vanilla_total_us(4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_offsets_are_increasing_and_bounded_by_total() {
+        let plan = plan_with_ramps(4);
+        for batch in [1u32, 4, 16] {
+            let mut prev = 0.0;
+            for i in 0..plan.num_ramps() {
+                let off = plan.ramp_offset_us(i, batch);
+                assert!(off > prev, "offsets must increase along the model");
+                assert!(off < plan.final_offset_us(batch));
+                prev = off;
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_time_includes_all_ramp_costs() {
+        let plan = plan_with_ramps(3);
+        let batch = 8;
+        let expected = plan.vanilla_total_us(batch) + 3.0 * lightweight_cost().latency_us(batch);
+        assert!((plan.gpu_batch_time_us(batch) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depth_fractions_are_ordered() {
+        let plan = plan_with_ramps(5);
+        let fractions: Vec<f64> = (0..5).map(|i| plan.depth_fraction(i)).collect();
+        assert!(fractions.windows(2).all(|w| w[0] < w[1]));
+        assert!(fractions.iter().all(|&f| (0.0..1.0).contains(&f)));
+    }
+
+    #[test]
+    fn execute_batch_gives_observation_per_ramp_per_request() {
+        let plan = plan_with_ramps(3);
+        let samples: Vec<SampleSemantics> =
+            (0..16).map(|i| SampleSemantics::new(i, 0.3)).collect();
+        let exec = plan.execute_batch(&samples);
+        assert_eq!(exec.batch_size, 16);
+        assert_eq!(exec.per_request.len(), 16);
+        for r in &exec.per_request {
+            assert_eq!(r.ramp_observations.len(), 3);
+        }
+    }
+
+    #[test]
+    fn earliest_exit_respects_thresholds() {
+        let obs = RequestObservations {
+            ramp_observations: vec![
+                RampObservation { entropy: 0.8, agrees: false },
+                RampObservation { entropy: 0.3, agrees: true },
+                RampObservation { entropy: 0.1, agrees: true },
+            ],
+        };
+        assert_eq!(BatchExecution::earliest_exit(&obs, &[0.0, 0.0, 0.0]), None);
+        assert_eq!(BatchExecution::earliest_exit(&obs, &[0.0, 0.4, 0.0]), Some(1));
+        assert_eq!(BatchExecution::earliest_exit(&obs, &[0.9, 0.4, 0.2]), Some(0));
+        assert_eq!(BatchExecution::earliest_exit(&obs, &[0.5, 0.0, 0.2]), Some(2));
+    }
+
+    #[test]
+    fn with_ramps_swaps_ramp_set() {
+        let plan = plan_with_ramps(2);
+        let sites = plan.model().graph.feasible_ramp_sites(None);
+        let new = plan.with_ramps(vec![RampPlacement {
+            site: sites[0],
+            cost: lightweight_cost(),
+            capacity: 0.9,
+        }]);
+        assert_eq!(new.num_ramps(), 1);
+        assert_eq!(plan.num_ramps(), 2);
+    }
+
+    #[test]
+    fn easy_samples_agree_early_on_cv_model() {
+        let plan = plan_with_ramps(4);
+        let easy: Vec<SampleSemantics> = (0..200).map(|i| SampleSemantics::new(i, 0.05)).collect();
+        let exec = plan.execute_batch(&easy);
+        let agreements = exec
+            .per_request
+            .iter()
+            .filter(|r| r.ramp_observations[0].agrees)
+            .count();
+        assert!(
+            agreements as f64 / easy.len() as f64 > 0.9,
+            "easy inputs should agree at the first ramp of an overparameterised CV model"
+        );
+    }
+}

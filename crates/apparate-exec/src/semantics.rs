@@ -1,0 +1,328 @@
+//! The ramp-semantics model: what a trained exit ramp *would observe* for a
+//! given input at a given model depth.
+//!
+//! The real system trains small ramps and reads their softmax entropy; the
+//! reproduction replaces that with a calibrated stochastic model. What matters
+//! for Apparate's algorithms is not the absolute numbers but the structural
+//! properties the paper's design relies on:
+//!
+//! 1. **Threshold monotonicity** (§3.2): for a fixed ramp, raising the exit
+//!    threshold admits a superset of inputs, so latency savings rise and
+//!    accuracy falls monotonically. We guarantee this by deriving exit
+//!    decisions from a single per-(input, ramp) entropy value.
+//! 2. **Depth monotonicity** (§3.3): under the same threshold, a deeper ramp
+//!    exits (weakly) more inputs than a shallower one, because it sees more of
+//!    the original model's computation. We guarantee this by making the
+//!    latent margin increase with depth while holding the per-input noise
+//!    fixed across depths.
+//! 3. **Determinism / order independence**: the observation for (input, ramp
+//!    site) is a pure function of the workload seed, so oracles, counterfactual
+//!    threshold evaluations and candidate-ramp estimates all see exactly what
+//!    the live system saw. This uses [`DeterministicRng::unit_draw`].
+//!
+//! Calibration knob: the model descriptor's `overparameterization` value. High
+//! values (CV models) mean most inputs are predictable very early; lower
+//! values (BERT/GPT2 sentiment) push exits towards the middle of the model,
+//! which is what produces the paper's CV-vs-NLP win gap.
+
+use apparate_sim::DeterministicRng;
+use serde::{Deserialize, Serialize};
+
+/// Semantic description of one input (or one generated token), produced by
+/// the workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleSemantics {
+    /// Stable identifier used to key deterministic draws.
+    pub seed: u64,
+    /// Intrinsic difficulty in `[0, 1]`: the fraction of the model's
+    /// predictive power needed to classify/generate this input the same way
+    /// the full model does. Easy inputs (small values) can exit early.
+    pub difficulty: f64,
+}
+
+impl SampleSemantics {
+    /// Construct, clamping difficulty into `[0, 1]`.
+    pub fn new(seed: u64, difficulty: f64) -> Self {
+        SampleSemantics {
+            seed,
+            difficulty: difficulty.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// What a ramp reports for one input: the paper streams exactly this pair from
+/// the GPU to the controller ("simply a top-predicted result with an error
+/// score", §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RampObservation {
+    /// Prediction-uncertainty score in `[0, 1]`; an input exits iff
+    /// `entropy <= threshold`. Threshold 0 therefore disables exiting.
+    pub entropy: f64,
+    /// Whether the ramp's top prediction matches the original model's output.
+    /// This is the accuracy ground truth Apparate gets for free because inputs
+    /// always run to completion.
+    pub agrees: bool,
+}
+
+/// Calibrated semantics model for one served model.
+#[derive(Debug, Clone)]
+pub struct SemanticsModel {
+    rng: DeterministicRng,
+    overparameterization: f64,
+    /// Observation noise on the entropy signal.
+    entropy_noise: f64,
+    /// Noise on the agreement margin (captures ramp imperfection).
+    agreement_noise: f64,
+    /// Temperature of the margin → entropy mapping.
+    temperature: f64,
+}
+
+impl SemanticsModel {
+    /// Build a semantics model for a served model.
+    ///
+    /// `overparameterization` comes from the model descriptor; `seed` should
+    /// be derived from the experiment seed so runs are reproducible.
+    pub fn new(seed: u64, overparameterization: f64) -> SemanticsModel {
+        SemanticsModel {
+            rng: DeterministicRng::new(seed).child(0x5EED_5EED),
+            overparameterization: overparameterization.clamp(0.0, 1.0),
+            entropy_noise: 0.04,
+            agreement_noise: 0.05,
+            temperature: 0.12,
+        }
+    }
+
+    /// Override the noise parameters (used by sensitivity experiments).
+    pub fn with_noise(mut self, entropy_noise: f64, agreement_noise: f64) -> SemanticsModel {
+        self.entropy_noise = entropy_noise.max(0.0);
+        self.agreement_noise = agreement_noise.max(0.0);
+        self
+    }
+
+    /// The predictive power available to a ramp placed after a fraction
+    /// `depth_fraction ∈ [0, 1]` of the model's blocks, scaled by the ramp's
+    /// `capacity ∈ [0, 1]` (how well its architecture + training approximate
+    /// an ideal readout of those intermediates).
+    ///
+    /// At depth 1.0 with capacity 1.0 the power is 1.0 (the ramp *is* the
+    /// model head); at depth 0 it is `overparameterization`-dependent but
+    /// non-zero — overparameterised models already encode easy inputs early.
+    pub fn ramp_power(&self, depth_fraction: f64, capacity: f64) -> f64 {
+        let p = depth_fraction.clamp(0.0, 1.0);
+        let c = capacity.clamp(0.0, 1.0);
+        // Early power grows with overparameterisation; the exponent keeps the
+        // curve concave so power accrues quickly at first for high overparam.
+        let floor = 0.55 * self.overparameterization;
+        let exponent = 1.6 - self.overparameterization;
+        let power = floor + (1.0 - floor) * p.powf(exponent.max(0.2));
+        (power * c).clamp(0.0, 1.0)
+    }
+
+    /// Latent margin between ramp power and input difficulty, plus a stable
+    /// per-(input, ramp) perturbation.
+    fn margin(&self, sample: &SampleSemantics, ramp_key: u64, depth_fraction: f64, capacity: f64) -> f64 {
+        let power = self.ramp_power(depth_fraction, capacity);
+        // The per-input noise must be identical across depths so that margin is
+        // monotone in depth for each individual input; the per-ramp component
+        // is small and only breaks ties between nearby ramps.
+        let input_noise = self.rng.normal_draw(&[sample.seed, 1]) * 0.03;
+        let ramp_noise = self.rng.normal_draw(&[sample.seed, ramp_key, 2]) * 0.015;
+        power - sample.difficulty + input_noise + ramp_noise
+    }
+
+    /// Observe what the ramp at `ramp_key` (a stable site identifier, e.g. the
+    /// layer id) with depth `depth_fraction` and `capacity` reports for
+    /// `sample`.
+    pub fn observe(
+        &self,
+        sample: &SampleSemantics,
+        ramp_key: u64,
+        depth_fraction: f64,
+        capacity: f64,
+    ) -> RampObservation {
+        let margin = self.margin(sample, ramp_key, depth_fraction, capacity);
+        // Entropy: logistic in the negative margin, i.e. confident (low
+        // entropy) when power comfortably exceeds difficulty.
+        let noise_e = self.rng.normal_draw(&[sample.seed, ramp_key, 3]) * self.entropy_noise;
+        let entropy = (1.0 / (1.0 + (margin / self.temperature).exp()) + noise_e).clamp(0.0, 1.0);
+        // Agreement: positive margin means the ramp's best guess matches the
+        // full model, with a little slack for ramp imperfection.
+        let noise_a = self.rng.normal_draw(&[sample.seed, ramp_key, 4]) * self.agreement_noise;
+        let agrees = margin + noise_a > 0.0;
+        RampObservation { entropy, agrees }
+    }
+
+    /// The final model's own "observation": by definition it agrees with
+    /// itself and has minimal entropy. Exposed so policies can treat the model
+    /// head as the last implicit exit.
+    pub fn final_observation(&self) -> RampObservation {
+        RampObservation {
+            entropy: 0.0,
+            agrees: true,
+        }
+    }
+
+    /// The overparameterisation this model was built with.
+    pub fn overparameterization(&self) -> f64 {
+        self.overparameterization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(overparam: f64) -> SemanticsModel {
+        SemanticsModel::new(1234, overparam)
+    }
+
+    fn samples(n: u64, difficulty: impl Fn(u64) -> f64) -> Vec<SampleSemantics> {
+        (0..n).map(|i| SampleSemantics::new(i, difficulty(i))).collect()
+    }
+
+    #[test]
+    fn observations_are_deterministic() {
+        let m = model(0.8);
+        let s = SampleSemantics::new(7, 0.4);
+        let a = m.observe(&s, 42, 0.5, 0.95);
+        let b = m.observe(&s, 42, 0.5, 0.95);
+        assert_eq!(a.entropy.to_bits(), b.entropy.to_bits());
+        assert_eq!(a.agrees, b.agrees);
+    }
+
+    #[test]
+    fn ramp_power_monotone_in_depth_and_capacity() {
+        let m = model(0.7);
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let p = m.ramp_power(i as f64 / 10.0, 1.0);
+            assert!(p >= last, "power must be monotone in depth");
+            last = p;
+        }
+        assert!(m.ramp_power(0.5, 0.5) < m.ramp_power(0.5, 1.0));
+        assert!((m.ramp_power(1.0, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_ramps_exit_more_inputs_at_same_threshold() {
+        let m = model(0.65);
+        let ss = samples(2000, |i| (i as f64 * 0.61803) % 1.0);
+        let threshold = 0.35;
+        let exit_rate = |depth: f64| {
+            ss.iter()
+                .filter(|s| m.observe(s, (depth * 100.0) as u64, depth, 0.97).entropy <= threshold)
+                .count() as f64
+                / ss.len() as f64
+        };
+        let shallow = exit_rate(0.25);
+        let mid = exit_rate(0.5);
+        let deep = exit_rate(0.85);
+        assert!(shallow <= mid + 0.02, "shallow {shallow} vs mid {mid}");
+        assert!(mid <= deep + 0.02, "mid {mid} vs deep {deep}");
+        assert!(deep > shallow, "depth must matter");
+    }
+
+    #[test]
+    fn higher_threshold_exits_more_and_is_less_accurate() {
+        let m = model(0.7);
+        let ss = samples(3000, |i| (i as f64 * 0.37) % 1.0);
+        let depth = 0.4;
+        let eval = |threshold: f64| {
+            let mut exits = 0usize;
+            let mut correct_exits = 0usize;
+            for s in &ss {
+                let obs = m.observe(s, 40, depth, 0.97);
+                if obs.entropy <= threshold {
+                    exits += 1;
+                    if obs.agrees {
+                        correct_exits += 1;
+                    }
+                }
+            }
+            let acc_of_exits = if exits == 0 {
+                1.0
+            } else {
+                correct_exits as f64 / exits as f64
+            };
+            (exits, acc_of_exits)
+        };
+        let (e_low, a_low) = eval(0.2);
+        let (e_mid, a_mid) = eval(0.5);
+        let (e_high, a_high) = eval(0.9);
+        assert!(e_low <= e_mid && e_mid <= e_high, "exit counts must be monotone");
+        assert!(a_low >= a_mid - 0.02 && a_mid >= a_high - 0.02, "exit accuracy should fall");
+        assert!(e_high > e_low);
+        assert!(a_low > a_high);
+    }
+
+    #[test]
+    fn threshold_zero_never_exits() {
+        let m = model(0.9);
+        let ss = samples(500, |i| (i as f64 * 0.13) % 1.0);
+        for s in &ss {
+            let obs = m.observe(s, 10, 0.9, 1.0);
+            assert!(obs.entropy > 0.0 || obs.agrees, "entropy is almost surely positive");
+        }
+    }
+
+    #[test]
+    fn cv_like_models_exit_much_earlier_than_nlp_like() {
+        let cv = model(0.90);
+        let nlp = model(0.60);
+        let ss = samples(2000, |i| (i as f64 * 0.777) % 1.0);
+        let early_agreement = |m: &SemanticsModel| {
+            ss.iter()
+                .filter(|s| m.observe(s, 20, 0.2, 0.97).agrees)
+                .count() as f64
+                / ss.len() as f64
+        };
+        let cv_rate = early_agreement(&cv);
+        let nlp_rate = early_agreement(&nlp);
+        assert!(
+            cv_rate > nlp_rate + 0.15,
+            "CV early agreement {cv_rate} should clearly exceed NLP {nlp_rate}"
+        );
+    }
+
+    #[test]
+    fn difficulty_is_clamped() {
+        let s = SampleSemantics::new(0, 2.5);
+        assert_eq!(s.difficulty, 1.0);
+        let s = SampleSemantics::new(0, -1.0);
+        assert_eq!(s.difficulty, 0.0);
+    }
+
+    #[test]
+    fn final_observation_is_perfect() {
+        let m = model(0.5);
+        let f = m.final_observation();
+        assert!(f.agrees);
+        assert_eq!(f.entropy, 0.0);
+    }
+
+    #[test]
+    fn entropy_correlates_with_disagreement() {
+        // Across many inputs, the average entropy of disagreeing observations
+        // must exceed that of agreeing ones — this is what makes a threshold a
+        // useful accuracy knob at all.
+        let m = model(0.7);
+        let ss = samples(4000, |i| (i as f64 * 0.317) % 1.0);
+        let mut agree_e = (0.0, 0usize);
+        let mut disagree_e = (0.0, 0usize);
+        for s in &ss {
+            let obs = m.observe(s, 33, 0.45, 0.97);
+            if obs.agrees {
+                agree_e = (agree_e.0 + obs.entropy, agree_e.1 + 1);
+            } else {
+                disagree_e = (disagree_e.0 + obs.entropy, disagree_e.1 + 1);
+            }
+        }
+        let mean_agree = agree_e.0 / agree_e.1.max(1) as f64;
+        let mean_disagree = disagree_e.0 / disagree_e.1.max(1) as f64;
+        assert!(disagree_e.1 > 0, "some disagreements expected");
+        assert!(
+            mean_disagree > mean_agree + 0.1,
+            "disagreeing entropy {mean_disagree} vs agreeing {mean_agree}"
+        );
+    }
+}

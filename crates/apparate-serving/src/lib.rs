@@ -1,0 +1,37 @@
+//! Serving-platform substrate for the Apparate reproduction.
+//!
+//! Reproduces the serving pipeline of §2.1 as a discrete-event simulation:
+//!
+//! * [`request`] — requests, SLOs and per-request serving records.
+//! * [`traces`] — arrival processes (fixed fps, Poisson, MAF-like bursty).
+//! * [`batching`] — queue-draining policies: TF-Serving knobs, Clockwork-style
+//!   SLO-aware batching, and immediate (batch-1) scheduling.
+//! * [`platform`] — the classification serving loop with the pluggable
+//!   [`ExitPolicy`](platform::ExitPolicy) hook through which Apparate and
+//!   every baseline integrate.
+//! * [`generative`] — continuous-batching decode loop with the analogous
+//!   [`TokenPolicy`](generative::TokenPolicy) hook.
+//! * [`metrics`] — latency/accuracy/throughput summaries and win computations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batching;
+pub mod generative;
+pub mod metrics;
+pub mod platform;
+pub mod request;
+pub mod traces;
+
+pub use batching::{BatchDecision, BatchingPolicy};
+pub use generative::{
+    ContinuousBatchingConfig, GenerativeOutcome, GenerativeSimulator, StepOutcome, TokenOutcome,
+    TokenPolicy, TokenRecord, TokenSemantics, TokenSlot, VanillaTokenPolicy,
+};
+pub use metrics::{latency_cdf, tpt_cdf, LatencySummary, LatencyWins};
+pub use platform::{
+    BatchOutcome, ExitPolicy, RequestOutcome, ServingConfig, ServingOutcome, ServingSimulator,
+    VanillaPolicy,
+};
+pub use request::{Request, RequestRecord};
+pub use traces::ArrivalTrace;

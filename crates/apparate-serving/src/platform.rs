@@ -1,0 +1,411 @@
+//! The classification serving simulator.
+//!
+//! A discrete-event loop reproducing the serving pipeline of §2.1: requests
+//! arrive according to a trace, wait in a FIFO queue, are drained into batches
+//! by a [`BatchingPolicy`], and execute on a (single) simulated GPU. The
+//! pluggable [`ExitPolicy`] decides, per batch, when each request's *result*
+//! is released and how long the batch holds the GPU — this is the hook through
+//! which vanilla serving, Apparate, and every baseline integrate without the
+//! platform knowing anything about early exits (mirroring how Apparate "runs
+//! directly atop existing serving platforms").
+
+use crate::batching::{BatchDecision, BatchingPolicy};
+use crate::request::{Request, RequestRecord};
+use crate::traces::ArrivalTrace;
+use apparate_exec::SampleSemantics;
+use apparate_sim::{EventQueue, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Outcome of processing one batch, as reported by an [`ExitPolicy`].
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// How long the batch occupies the GPU (including any ramp overheads).
+    pub gpu_time: SimDuration,
+    /// Per-request outcomes, parallel to the batch slice passed in.
+    pub per_request: Vec<RequestOutcome>,
+}
+
+/// Outcome for a single request within a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestOutcome {
+    /// Offset from batch start at which the result is released.
+    pub release_offset: SimDuration,
+    /// Offset from batch start at which the input finishes the full model.
+    pub completion_offset: SimDuration,
+    /// Which active ramp (by index) the result exited at, if any.
+    pub exit_ramp: Option<usize>,
+    /// Whether the released result matches the original model's prediction.
+    pub correct: bool,
+}
+
+/// A policy that maps batches to outcomes: vanilla serving, Apparate's
+/// controller, static early-exit models, cascades, ...
+pub trait ExitPolicy {
+    /// Process one batch starting at `batch_start`. `batch` holds the requests
+    /// in queue order.
+    fn process_batch(&mut self, batch: &[Request], batch_start: SimTime) -> BatchOutcome;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// Vanilla serving: every input runs the whole original model; the result is
+/// released when the batch finishes.
+#[derive(Debug, Clone)]
+pub struct VanillaPolicy<F>
+where
+    F: Fn(u32) -> SimDuration,
+{
+    exec_time: F,
+}
+
+impl<F> VanillaPolicy<F>
+where
+    F: Fn(u32) -> SimDuration,
+{
+    /// Create a vanilla policy from a batch-size → execution-time function.
+    pub fn new(exec_time: F) -> Self {
+        VanillaPolicy { exec_time }
+    }
+}
+
+impl<F> ExitPolicy for VanillaPolicy<F>
+where
+    F: Fn(u32) -> SimDuration,
+{
+    fn process_batch(&mut self, batch: &[Request], _batch_start: SimTime) -> BatchOutcome {
+        let gpu_time = (self.exec_time)(batch.len() as u32);
+        BatchOutcome {
+            gpu_time,
+            per_request: batch
+                .iter()
+                .map(|_| RequestOutcome {
+                    release_offset: gpu_time,
+                    completion_offset: gpu_time,
+                    exit_ramp: None,
+                    correct: true,
+                })
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "vanilla"
+    }
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Batching policy.
+    pub policy: BatchingPolicy,
+    /// SLO attached to every request (None = no SLO).
+    pub slo: Option<SimDuration>,
+}
+
+impl ServingConfig {
+    /// Clockwork-style SLO-aware serving with the given SLO and max batch.
+    pub fn clockwork(slo_ms: f64, max_batch_size: u32) -> ServingConfig {
+        ServingConfig {
+            policy: BatchingPolicy::Clockwork { max_batch_size },
+            slo: Some(SimDuration::from_millis_f64(slo_ms)),
+        }
+    }
+
+    /// TF-Serving-style knob batching.
+    pub fn tf_serve(slo_ms: f64, max_batch_size: u32, batch_timeout_ms: f64) -> ServingConfig {
+        ServingConfig {
+            policy: BatchingPolicy::TfServe {
+                max_batch_size,
+                batch_timeout: SimDuration::from_millis_f64(batch_timeout_ms),
+            },
+            slo: Some(SimDuration::from_millis_f64(slo_ms)),
+        }
+    }
+}
+
+/// Aggregate result of one serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingOutcome {
+    /// Per-request records, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// Batch sizes actually launched, in launch order.
+    pub batch_sizes: Vec<u32>,
+    /// Total GPU busy time.
+    pub gpu_busy: SimDuration,
+    /// Wall-clock span from first arrival to last completion.
+    pub makespan: SimDuration,
+}
+
+impl ServingOutcome {
+    /// Response latencies (release − arrival) in milliseconds.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency().as_millis_f64()).collect()
+    }
+
+    /// Mean batch size across launched batches.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batch_sizes.is_empty() {
+            return 0.0;
+        }
+        self.batch_sizes.iter().map(|&b| b as f64).sum::<f64>() / self.batch_sizes.len() as f64
+    }
+
+    /// Throughput in requests per second (completed requests over makespan).
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / secs
+    }
+
+    /// Fraction of requests whose released result matches the original model.
+    pub fn accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records.iter().filter(|r| r.correct).count() as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of requests that violated their SLO.
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.slo_violated).count() as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of requests whose result exited at a ramp.
+    pub fn exit_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.exit_ramp.is_some()).count() as f64
+            / self.records.len() as f64
+    }
+}
+
+/// Internal discrete events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    GpuFree,
+    TimeoutCheck,
+}
+
+/// The serving simulator itself.
+pub struct ServingSimulator {
+    config: ServingConfig,
+}
+
+impl ServingSimulator {
+    /// Create a simulator with the given configuration.
+    pub fn new(config: ServingConfig) -> ServingSimulator {
+        ServingSimulator { config }
+    }
+
+    /// Run the full trace through the platform with the given exit policy and
+    /// batch-time estimator (used by SLO-aware batching decisions; usually the
+    /// same function the policy itself uses for GPU time).
+    pub fn run(
+        &self,
+        trace: &ArrivalTrace,
+        samples: &[SampleSemantics],
+        policy: &mut dyn ExitPolicy,
+        estimate_batch_time: &dyn Fn(u32) -> SimDuration,
+    ) -> ServingOutcome {
+        assert_eq!(
+            trace.len(),
+            samples.len(),
+            "one semantic sample per arrival is required"
+        );
+        let requests: Vec<Request> = trace
+            .times()
+            .iter()
+            .zip(samples.iter())
+            .enumerate()
+            .map(|(i, (&at, &sem))| Request::classification(i as u64, at, sem, self.config.slo))
+            .collect();
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for (i, req) in requests.iter().enumerate() {
+            events.schedule(req.arrival, Event::Arrival(i));
+        }
+
+        let mut queue: VecDeque<Request> = VecDeque::new();
+        let mut gpu_busy = false;
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(requests.len());
+        let mut batch_sizes: Vec<u32> = Vec::new();
+        let mut total_gpu_busy = SimDuration::ZERO;
+        let first_arrival = trace.times().first().copied().unwrap_or(SimTime::ZERO);
+        let mut last_completion = first_arrival;
+
+        while let Some((now, event)) = events.pop() {
+            match event {
+                Event::Arrival(i) => {
+                    queue.push_back(requests[i].clone());
+                }
+                Event::GpuFree => {
+                    gpu_busy = false;
+                }
+                Event::TimeoutCheck => {}
+            }
+            if gpu_busy {
+                continue;
+            }
+            // GPU is idle: ask the batching policy what to do.
+            let queued: Vec<Request> = queue.iter().cloned().collect();
+            match self.config.policy.decide(&queued, now, estimate_batch_time) {
+                BatchDecision::Idle => {}
+                BatchDecision::WaitUntil(at) => {
+                    events.schedule(at, Event::TimeoutCheck);
+                }
+                BatchDecision::Launch(size) => {
+                    let size = size.min(queue.len() as u32).max(1);
+                    let batch: Vec<Request> = queue.drain(..size as usize).collect();
+                    let outcome = policy.process_batch(&batch, now);
+                    debug_assert_eq!(outcome.per_request.len(), batch.len());
+                    batch_sizes.push(size);
+                    total_gpu_busy += outcome.gpu_time;
+                    for (req, out) in batch.iter().zip(outcome.per_request.iter()) {
+                        let released = now + out.release_offset;
+                        let completed = now + out.completion_offset;
+                        let slo_violated = req
+                            .deadline()
+                            .map(|d| released > d)
+                            .unwrap_or(false);
+                        records.push(RequestRecord {
+                            id: req.id,
+                            arrival: req.arrival,
+                            batch_start: now,
+                            batch_size: size,
+                            released,
+                            completed,
+                            exit_ramp: out.exit_ramp,
+                            correct: out.correct,
+                            slo_violated,
+                        });
+                        if completed > last_completion {
+                            last_completion = completed;
+                        }
+                    }
+                    gpu_busy = true;
+                    events.schedule(now + outcome.gpu_time, Event::GpuFree);
+                }
+            }
+        }
+
+        records.sort_by_key(|r| r.id);
+        ServingOutcome {
+            records,
+            batch_sizes,
+            gpu_busy: total_gpu_busy,
+            makespan: last_completion - first_arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apparate_sim::Percentiles;
+
+    fn samples(n: usize) -> Vec<SampleSemantics> {
+        (0..n).map(|i| SampleSemantics::new(i as u64, 0.5)).collect()
+    }
+
+    /// Execution time model: 10 ms fixed + 2 ms per item.
+    fn exec_time(b: u32) -> SimDuration {
+        SimDuration::from_millis(10 + 2 * b as u64)
+    }
+
+    #[test]
+    fn vanilla_immediate_serving_completes_everything() {
+        let trace = ArrivalTrace::fixed_rate(50, 20.0);
+        let sim = ServingSimulator::new(ServingConfig {
+            policy: BatchingPolicy::Immediate,
+            slo: None,
+        });
+        let mut policy = VanillaPolicy::new(exec_time);
+        let out = sim.run(&trace, &samples(50), &mut policy, &exec_time);
+        assert_eq!(out.records.len(), 50);
+        assert!(out.accuracy() >= 1.0 - 1e-12);
+        assert_eq!(out.exit_rate(), 0.0);
+        assert!(out.mean_batch_size() >= 1.0);
+        // Requests arrive every 50 ms and take 12 ms, so no queueing.
+        let p = Percentiles::from_samples(&out.latencies_ms());
+        assert!((p.p50 - 12.0).abs() < 0.5, "p50 {}", p.p50);
+    }
+
+    #[test]
+    fn overload_builds_queues_and_bigger_batches_help_throughput() {
+        // 200 requests at 100 rps; exec = 10 + 2b ms, so batch-1 capacity is
+        // ~83 rps (overloaded) while batch-8 capacity is ~307 rps.
+        let trace = ArrivalTrace::fixed_rate(200, 100.0);
+        let run = |max_batch: u32| {
+            let sim = ServingSimulator::new(ServingConfig {
+                policy: BatchingPolicy::TfServe {
+                    max_batch_size: max_batch,
+                    batch_timeout: SimDuration::from_millis(2),
+                },
+                slo: None,
+            });
+            let mut policy = VanillaPolicy::new(exec_time);
+            sim.run(&trace, &samples(200), &mut policy, &exec_time)
+        };
+        let small = run(1);
+        let large = run(8);
+        assert!(large.mean_batch_size() > small.mean_batch_size());
+        // Larger batches finish the backlog sooner (higher throughput)...
+        assert!(large.makespan < small.makespan);
+        // ...but the un-queued latency of an individual request is worse than
+        // the batch-1 serving time (the tension of Figure 1/2).
+        let small_p = Percentiles::from_samples(&small.latencies_ms());
+        let large_p = Percentiles::from_samples(&large.latencies_ms());
+        // Under overload batch-1 queues grow without bound, so median latency
+        // is far worse for the small-batch configuration.
+        assert!(small_p.p50 > large_p.p50);
+    }
+
+    #[test]
+    fn clockwork_respects_slo_when_feasible() {
+        let trace = ArrivalTrace::fixed_rate(100, 50.0);
+        let sim = ServingSimulator::new(ServingConfig::clockwork(60.0, 16));
+        let mut policy = VanillaPolicy::new(exec_time);
+        let out = sim.run(&trace, &samples(100), &mut policy, &exec_time);
+        assert_eq!(out.records.len(), 100);
+        assert!(
+            out.slo_violation_rate() < 0.05,
+            "violation rate {}",
+            out.slo_violation_rate()
+        );
+    }
+
+    #[test]
+    fn gpu_busy_never_exceeds_makespan() {
+        let trace = ArrivalTrace::poisson(300, 80.0, 5);
+        let sim = ServingSimulator::new(ServingConfig::clockwork(100.0, 8));
+        let mut policy = VanillaPolicy::new(exec_time);
+        let out = sim.run(&trace, &samples(300), &mut policy, &exec_time);
+        assert!(out.gpu_busy <= out.makespan + SimDuration::from_millis(1));
+        assert!(out.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn records_are_in_request_order_and_causal() {
+        let trace = ArrivalTrace::poisson(100, 60.0, 9);
+        let sim = ServingSimulator::new(ServingConfig::clockwork(80.0, 4));
+        let mut policy = VanillaPolicy::new(exec_time);
+        let out = sim.run(&trace, &samples(100), &mut policy, &exec_time);
+        for (i, r) in out.records.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.batch_start >= r.arrival);
+            assert!(r.released >= r.batch_start);
+            assert!(r.completed >= r.released);
+        }
+    }
+}

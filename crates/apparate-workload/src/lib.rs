@@ -1,0 +1,22 @@
+//! Synthetic streaming workloads for the Apparate reproduction.
+//!
+//! The paper evaluates on real video, review and generation datasets; the
+//! reproduction substitutes difficulty streams whose *dynamics* match what the
+//! paper relies on: strong spatiotemporal continuity plus scene/lighting
+//! regime changes for video ([`cv`]), weakly correlated block-structured
+//! review streams ([`nlp`]), and strongly correlated within-sequence token
+//! difficulty for generation ([`generative`]). [`stream::Workload`] carries
+//! the samples and the 10 % bootstrap split used for ramp training (§3.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod generative;
+pub mod nlp;
+pub mod stream;
+
+pub use cv::{video_corpus, video_workload, VideoConfig};
+pub use generative::{GenerativeConfig, GenerativeTask, GenerativeWorkload, SequenceSpec};
+pub use nlp::{amazon_reviews, imdb_reviews, nlp_corpus, AmazonConfig, ImdbConfig};
+pub use stream::{BootstrapSplit, Domain, Workload};
