@@ -1,0 +1,339 @@
+//! Classification-serving baselines: the [`ExitPolicy`] family.
+
+use apparate_core::{
+    greedy_tune, GreedyParams, RequestFeedback, ThresholdEvaluator, TuningOutcome,
+};
+use apparate_exec::{BatchExecution, ExecutionPlan, RequestObservations, SampleSemantics};
+use apparate_model::LayerId;
+use apparate_serving::{BatchOutcome, ExitPolicy, Request, RequestOutcome, VanillaPolicy};
+use apparate_sim::{SimDuration, SimTime};
+
+/// Latency saved per request by exiting at each active ramp instead of running
+/// to the model head, at the given reference batch size (µs, one entry per
+/// ramp). This is the savings vector Algorithm 1 maximises.
+pub fn per_ramp_savings_us(plan: &ExecutionPlan, batch: u32) -> Vec<f64> {
+    let final_off = plan.final_offset_us(batch);
+    (0..plan.num_ramps())
+        .map(|i| (final_off - plan.ramp_offset_us(i, batch)).max(0.0))
+        .collect()
+}
+
+/// A batch-size → GPU-time estimator for a plan, for the serving platform's
+/// SLO-aware batching decisions. Includes active-ramp overheads.
+pub fn batch_time_fn(plan: &ExecutionPlan) -> impl Fn(u32) -> SimDuration + '_ {
+    |batch| SimDuration::from_micros_f64(plan.gpu_batch_time_us(batch))
+}
+
+/// Vanilla serving for a model: every input runs the whole original model with
+/// no ramps and no overhead.
+pub fn vanilla_policy(plan: &ExecutionPlan) -> VanillaPolicy<impl Fn(u32) -> SimDuration + '_> {
+    VanillaPolicy::new(|batch| SimDuration::from_micros_f64(plan.vanilla_total_us(batch)))
+}
+
+/// The universal result-release rule shared by every threshold-based policy
+/// (static baselines and Apparate alike): the request's *result* is released
+/// at the earliest ramp whose entropy clears its threshold, while the *input*
+/// continues to the model head (which is what keeps accuracy feedback free and
+/// batchmates unaffected, §3.2).
+pub fn exit_outcome(
+    plan: &ExecutionPlan,
+    observations: &RequestObservations,
+    thresholds: &[f64],
+    batch: u32,
+) -> RequestOutcome {
+    let final_off = SimDuration::from_micros_f64(plan.final_offset_us(batch));
+    match BatchExecution::earliest_exit(observations, thresholds) {
+        Some(ramp) => RequestOutcome {
+            release_offset: SimDuration::from_micros_f64(plan.ramp_offset_us(ramp, batch)),
+            completion_offset: final_off,
+            exit_ramp: Some(ramp),
+            correct: observations.ramp_observations[ramp].agrees,
+        },
+        None => RequestOutcome {
+            release_offset: final_off,
+            completion_offset: final_off,
+            exit_ramp: None,
+            correct: true,
+        },
+    }
+}
+
+/// A non-adaptive early-exit policy: fixed ramps, fixed per-ramp thresholds.
+///
+/// With uniform thresholds this is the BranchyNet/DeeBERT deployment mode the
+/// paper argues against (§2.2); with offline-tuned thresholds (see
+/// [`offline_tuned_thresholds`]) it becomes the "tune once, then drift"
+/// baseline of Figure 5.
+pub struct StaticExitPolicy {
+    plan: ExecutionPlan,
+    thresholds: Vec<f64>,
+    name: String,
+}
+
+impl StaticExitPolicy {
+    /// Create a static policy. `thresholds` must have one entry per active
+    /// ramp of `plan`.
+    pub fn new(
+        plan: ExecutionPlan,
+        thresholds: Vec<f64>,
+        name: impl Into<String>,
+    ) -> StaticExitPolicy {
+        assert_eq!(
+            thresholds.len(),
+            plan.num_ramps(),
+            "one threshold per active ramp"
+        );
+        StaticExitPolicy {
+            plan,
+            thresholds,
+            name: name.into(),
+        }
+    }
+
+    /// Create a static policy with the same threshold on every ramp.
+    pub fn uniform(
+        plan: ExecutionPlan,
+        threshold: f64,
+        name: impl Into<String>,
+    ) -> StaticExitPolicy {
+        let thresholds = vec![threshold; plan.num_ramps()];
+        StaticExitPolicy::new(plan, thresholds, name)
+    }
+
+    /// The underlying execution plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The fixed thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl ExitPolicy for StaticExitPolicy {
+    fn process_batch(&mut self, batch: &[Request], _batch_start: SimTime) -> BatchOutcome {
+        let samples: Vec<SampleSemantics> = batch.iter().map(|r| r.semantics).collect();
+        let exec = self.plan.execute_batch(&samples);
+        let b = batch.len() as u32;
+        BatchOutcome {
+            gpu_time: SimDuration::from_micros_f64(self.plan.gpu_batch_time_us(b)),
+            per_request: exec
+                .per_request
+                .iter()
+                .map(|obs| exit_outcome(&self.plan, obs, &self.thresholds, b))
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Tune thresholds once, offline, on a calibration sample set (the bootstrap
+/// validation split, §3.1) using Apparate's own greedy tuner, and return the
+/// outcome. Wrap the result in a [`StaticExitPolicy`] for the "oneshot-tuned"
+/// baseline: optimal for the bootstrap distribution, blind to drift.
+pub fn offline_tuned_thresholds(
+    plan: &ExecutionPlan,
+    calibration: &[SampleSemantics],
+    params: GreedyParams,
+    reference_batch: u32,
+) -> TuningOutcome {
+    let records: Vec<RequestFeedback> = calibration
+        .iter()
+        .map(|sample| RequestFeedback {
+            observations: (0..plan.num_ramps())
+                .map(|i| plan.observe(sample, i))
+                .collect(),
+            exited: None,
+            correct: true,
+            batch_size: reference_batch,
+        })
+        .collect();
+    let savings = per_ramp_savings_us(plan, reference_batch);
+    let evaluator = ThresholdEvaluator::new(&records, &savings);
+    greedy_tune(&evaluator, params)
+}
+
+/// The deterministic hindsight oracle (§2.2's "optimal early exiting").
+///
+/// For every input it exits at the earliest feasible site whose hypothetical
+/// ramp agrees with the full model — knowledge only hindsight (or a
+/// deterministic, splittable semantics model) can provide — and pays no ramp
+/// overhead at all. Accuracy is exactly that of the original model, and the
+/// batch frees the GPU as soon as its slowest member exits, so the oracle
+/// lower-bounds every realisable policy on latency *and* throughput.
+pub struct OracleExitPolicy {
+    plan: ExecutionPlan,
+    sites: Vec<LayerId>,
+    capacity: f64,
+    name: String,
+}
+
+impl OracleExitPolicy {
+    /// Create an oracle over the given feasible sites (topological order) with
+    /// the given ramp capacity. `plan` should carry no active ramps; the
+    /// oracle evaluates hypothetical ramps at every site.
+    pub fn new(
+        plan: ExecutionPlan,
+        sites: Vec<LayerId>,
+        capacity: f64,
+        name: impl Into<String>,
+    ) -> OracleExitPolicy {
+        OracleExitPolicy {
+            plan,
+            sites,
+            capacity,
+            name: name.into(),
+        }
+    }
+}
+
+impl ExitPolicy for OracleExitPolicy {
+    fn process_batch(&mut self, batch: &[Request], _batch_start: SimTime) -> BatchOutcome {
+        let b = batch.len() as u32;
+        let (gpu_us, releases) = crate::oracle::batch_releases(
+            &self.plan,
+            &self.sites,
+            self.capacity,
+            batch.iter().map(|r| r.semantics),
+            b,
+        );
+        BatchOutcome {
+            gpu_time: SimDuration::from_micros_f64(gpu_us),
+            per_request: releases
+                .into_iter()
+                .map(|(us, ramp)| {
+                    let off = SimDuration::from_micros_f64(us);
+                    RequestOutcome {
+                        release_offset: off,
+                        completion_offset: off,
+                        exit_ramp: ramp,
+                        correct: true,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::{deploy_all_sites, deploy_budget_sites};
+    use apparate_core::{ApparateConfig, RampArchitecture};
+    use apparate_exec::SemanticsModel;
+    use apparate_model::zoo;
+    use apparate_serving::ArrivalTrace;
+    use apparate_serving::{BatchingPolicy, ServingConfig, ServingSimulator};
+
+    fn easy_samples(n: usize) -> Vec<SampleSemantics> {
+        (0..n)
+            .map(|i| SampleSemantics::new(i as u64, 0.1 + 0.3 * (i % 7) as f64 / 7.0))
+            .collect()
+    }
+
+    fn cv_plan() -> crate::prep::RampDeployment {
+        let model = zoo::resnet(50);
+        let semantics = SemanticsModel::new(77, model.descriptor.overparameterization);
+        deploy_budget_sites(
+            &model,
+            &semantics,
+            &ApparateConfig::default(),
+            RampArchitecture::Lightweight,
+            500,
+        )
+    }
+
+    #[test]
+    fn static_policy_exits_easy_inputs_early() {
+        let dep = cv_plan();
+        let mut policy = StaticExitPolicy::uniform(dep.plan.clone(), 0.25, "static-ee");
+        let samples = easy_samples(64);
+        let requests: Vec<Request> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Request::classification(i as u64, SimTime::ZERO, s, None))
+            .collect();
+        let out = policy.process_batch(&requests, SimTime::ZERO);
+        assert_eq!(out.per_request.len(), 64);
+        let exits = out
+            .per_request
+            .iter()
+            .filter(|o| o.exit_ramp.is_some())
+            .count();
+        assert!(exits > 32, "most easy CV inputs should exit ({exits}/64)");
+        for o in &out.per_request {
+            assert!(o.release_offset <= o.completion_offset);
+            if o.exit_ramp.is_some() {
+                assert!(o.release_offset < out.gpu_time);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_thresholds_never_exit() {
+        let dep = cv_plan();
+        let mut policy = StaticExitPolicy::uniform(dep.plan.clone(), 0.0, "no-exit");
+        let requests: Vec<Request> = easy_samples(8)
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Request::classification(i as u64, SimTime::ZERO, s, None))
+            .collect();
+        let out = policy.process_batch(&requests, SimTime::ZERO);
+        assert!(out
+            .per_request
+            .iter()
+            .all(|o| o.exit_ramp.is_none() && o.correct));
+    }
+
+    #[test]
+    fn offline_tuning_finds_savings_and_respects_accuracy() {
+        let dep = cv_plan();
+        let calibration = easy_samples(400);
+        let outcome = offline_tuned_thresholds(&dep.plan, &calibration, GreedyParams::default(), 4);
+        assert!(outcome.evaluation.accuracy >= 0.99 - 1e-9);
+        assert!(outcome.evaluation.mean_savings_us > 0.0);
+        assert_eq!(outcome.thresholds.len(), dep.plan.num_ramps());
+    }
+
+    #[test]
+    fn oracle_is_perfectly_accurate_and_fast() {
+        let model = zoo::resnet(50);
+        let semantics = SemanticsModel::new(77, model.descriptor.overparameterization);
+        let dep = deploy_all_sites(&model, &semantics, RampArchitecture::Lightweight, 500);
+        let vanilla_plan = dep.plan.with_ramps(Vec::new());
+        let sites: Vec<LayerId> = dep.all_sites.iter().map(|s| s.site).collect();
+        let mut oracle = OracleExitPolicy::new(vanilla_plan.clone(), sites, dep.capacity, "oracle");
+
+        let trace = ArrivalTrace::fixed_rate(100, 30.0);
+        let samples = easy_samples(100);
+        let sim = ServingSimulator::new(ServingConfig {
+            policy: BatchingPolicy::Immediate,
+            slo: None,
+        });
+        let estimate = batch_time_fn(&vanilla_plan);
+        let out = sim.run(&trace, &samples, &mut oracle, &estimate);
+        assert!((out.accuracy() - 1.0).abs() < 1e-12);
+        assert!(out.exit_rate() > 0.5);
+
+        // Head-to-head at identical arrivals: the oracle's median beats vanilla.
+        let mut vanilla = vanilla_policy(&vanilla_plan);
+        let vout = sim.run(&trace, &samples, &mut vanilla, &estimate);
+        let op = apparate_sim::Percentiles::from_samples(&out.latencies_ms());
+        let vp = apparate_sim::Percentiles::from_samples(&vout.latencies_ms());
+        assert!(
+            op.p50 < vp.p50,
+            "oracle p50 {} vs vanilla {}",
+            op.p50,
+            vp.p50
+        );
+        assert!(op.max <= vp.max + 1e-9);
+    }
+}

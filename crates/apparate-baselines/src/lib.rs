@@ -1,1 +1,46 @@
-//! placeholder
+//! Comparison policies for the Apparate reproduction.
+//!
+//! The paper's headline claims are *comparative*: Apparate's adaptive
+//! controller versus serving without early exits and versus prior static
+//! early-exit schemes (§2.2, §4.2–4.4). This crate provides those comparison
+//! points as first-class [`ExitPolicy`](apparate_serving::ExitPolicy) /
+//! [`TokenPolicy`](apparate_serving::TokenPolicy) implementations:
+//!
+//! * **vanilla** — no ramps, the original model only (via
+//!   [`apparate_serving::VanillaPolicy`]; [`classification::vanilla_policy`]
+//!   builds it from an execution plan).
+//! * **static-ee** — fixed ramps at Apparate's budgeted initial placement with
+//!   a fixed, hand-picked threshold; never adapts (the classic
+//!   BranchyNet/DeeBERT deployment mode, [`classification::StaticExitPolicy`]).
+//! * **uniform-ee** — a ramp at *every* feasible site with the same fixed
+//!   threshold; shows what ignoring the ramp budget costs
+//!   ([`prep::deploy_all_sites`] + [`classification::StaticExitPolicy`]).
+//! * **oneshot-tuned** — thresholds tuned once, offline, on the bootstrap
+//!   validation split with Apparate's own greedy tuner, then frozen
+//!   ([`classification::offline_tuned_thresholds`]).
+//! * **oracle** — the deterministic hindsight optimal of §2.2: every input
+//!   exits at the earliest site whose ramp agrees with the full model, with
+//!   zero ramp overhead ([`classification::OracleExitPolicy`]). Because ramp
+//!   observations are pure functions of the splittable RNG in
+//!   `apparate-sim::rng`, the oracle sees *exactly* what any live policy would
+//!   have seen, making it a true latency lower bound at full accuracy.
+//!
+//! [`generative`] mirrors the same family for token-level early exits in the
+//! continuous-batching decode loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod generative;
+mod oracle;
+pub mod prep;
+
+pub use classification::{
+    batch_time_fn, exit_outcome, offline_tuned_thresholds, per_ramp_savings_us, vanilla_policy,
+    OracleExitPolicy, StaticExitPolicy,
+};
+pub use generative::{
+    step_gpu_time, step_time_fn, OracleTokenPolicy, StaticTokenPolicy, TokenOutcomes,
+};
+pub use prep::{deploy_all_sites, deploy_budget_sites, RampDeployment};

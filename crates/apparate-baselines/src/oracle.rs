@@ -1,0 +1,45 @@
+//! Shared release rule of the hindsight oracles.
+//!
+//! Both the classification and the token oracle apply the same §2.2 optimum:
+//! exit at the earliest feasible site whose hypothetical ramp agrees with the
+//! full model, pay no ramp overhead, and hold the GPU only until the slowest
+//! member of the batch/step has released. Keeping the rule in one place means
+//! the two oracles cannot drift apart.
+
+use apparate_exec::{ExecutionPlan, SampleSemantics};
+use apparate_model::LayerId;
+
+/// Offset (µs from batch start) at which one input's result is released by a
+/// hindsight oracle over `sites`, plus the index of the exit site (into
+/// `sites`), if any. `None` means the input runs the whole model.
+pub(crate) fn release_us(
+    plan: &ExecutionPlan,
+    sites: &[LayerId],
+    capacity: f64,
+    sample: &SampleSemantics,
+    batch: u32,
+) -> (f64, Option<usize>) {
+    for (idx, &site) in sites.iter().enumerate() {
+        if plan.observe_at_site(sample, site, capacity).agrees {
+            return (plan.site_prefix_us(site, batch), Some(idx));
+        }
+    }
+    (plan.vanilla_total_us(batch), None)
+}
+
+/// Release offsets for a whole batch plus the GPU occupancy: the batch frees
+/// the GPU when its slowest member exits, which with zero ramp cost is at most
+/// the vanilla batch time.
+pub(crate) fn batch_releases(
+    plan: &ExecutionPlan,
+    sites: &[LayerId],
+    capacity: f64,
+    samples: impl Iterator<Item = SampleSemantics>,
+    batch: u32,
+) -> (f64, Vec<(f64, Option<usize>)>) {
+    let releases: Vec<(f64, Option<usize>)> = samples
+        .map(|sample| release_us(plan, sites, capacity, &sample, batch))
+        .collect();
+    let gpu_us = releases.iter().map(|(us, _)| *us).fold(0.0f64, f64::max);
+    (gpu_us, releases)
+}

@@ -1,0 +1,149 @@
+//! Deployment preparation shared by every early-exit policy: pick ramp sites,
+//! "train" the ramps on the bootstrap split, and assemble an
+//! [`ExecutionPlan`].
+//!
+//! Both the baselines and Apparate itself go through exactly this preparation
+//! phase (§3.1); they differ only in what happens *after* deployment (nothing,
+//! a single offline tune, or continuous adaptation).
+
+use apparate_core::{
+    evenly_spaced, feasible_sites, max_ramps_under_budget, train_ramps, ApparateConfig,
+    RampArchitecture, RampSite,
+};
+use apparate_exec::{ExecutionPlan, SemanticsModel};
+use apparate_model::ZooModel;
+
+/// A deployed ramp set: the execution plan plus the site bookkeeping that
+/// adaptive policies need to reason about alternatives.
+#[derive(Debug, Clone)]
+pub struct RampDeployment {
+    /// The executable plan (model + semantics + active ramps).
+    pub plan: ExecutionPlan,
+    /// Every feasible ramp site of the model, in topological order. Adjustment
+    /// algorithms search this space; static policies ignore it.
+    pub all_sites: Vec<RampSite>,
+    /// Feasible-site indices of the initially active ramps, sorted ascending.
+    pub active_sites: Vec<usize>,
+    /// Budgeted maximum number of simultaneously active ramps.
+    pub max_active: usize,
+    /// Capacity every trained ramp achieved (uniform across sites, §3.1).
+    pub capacity: f64,
+}
+
+/// Deploy ramps at Apparate's initial placement: evenly spaced feasible sites
+/// filling the ramp budget, trained on `train_samples` bootstrap samples.
+pub fn deploy_budget_sites(
+    model: &ZooModel,
+    semantics: &SemanticsModel,
+    config: &ApparateConfig,
+    architecture: RampArchitecture,
+    train_samples: usize,
+) -> RampDeployment {
+    let all_sites = feasible_sites(model, architecture);
+    let max_active = max_ramps_under_budget(model, &all_sites, config.ramp_budget).max(1);
+    let active = evenly_spaced(&all_sites, max_active);
+    deploy(
+        model,
+        semantics,
+        architecture,
+        train_samples,
+        all_sites,
+        active,
+        max_active,
+    )
+}
+
+/// Deploy a ramp at *every* feasible site (the uniform-placement baseline;
+/// deliberately ignores the ramp budget).
+pub fn deploy_all_sites(
+    model: &ZooModel,
+    semantics: &SemanticsModel,
+    architecture: RampArchitecture,
+    train_samples: usize,
+) -> RampDeployment {
+    let all_sites = feasible_sites(model, architecture);
+    let active = all_sites.clone();
+    let max_active = all_sites.len();
+    deploy(
+        model,
+        semantics,
+        architecture,
+        train_samples,
+        all_sites,
+        active,
+        max_active,
+    )
+}
+
+fn deploy(
+    model: &ZooModel,
+    semantics: &SemanticsModel,
+    architecture: RampArchitecture,
+    train_samples: usize,
+    all_sites: Vec<RampSite>,
+    active: Vec<RampSite>,
+    max_active: usize,
+) -> RampDeployment {
+    let (ramps, _report) = train_ramps(model, &active, architecture, train_samples);
+    let capacity = ramps.first().map(|r| r.capacity).unwrap_or(0.0);
+    let placements = ramps.iter().map(|r| r.placement()).collect();
+    let active_sites = active.iter().map(|s| s.site_index).collect();
+    RampDeployment {
+        plan: ExecutionPlan::new(model.clone(), semantics.clone(), placements),
+        all_sites,
+        active_sites,
+        max_active,
+        capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apparate_model::zoo;
+
+    fn semantics(model: &ZooModel) -> SemanticsModel {
+        SemanticsModel::new(1, model.descriptor.overparameterization)
+    }
+
+    #[test]
+    fn budget_deployment_respects_budget() {
+        let model = zoo::resnet(50);
+        let dep = deploy_budget_sites(
+            &model,
+            &semantics(&model),
+            &ApparateConfig::default(),
+            RampArchitecture::Lightweight,
+            500,
+        );
+        assert!(dep.plan.num_ramps() >= 1);
+        assert!(dep.plan.num_ramps() <= dep.max_active);
+        assert!(dep.active_sites.windows(2).all(|w| w[0] < w[1]));
+        // Worst-case overhead stays within the 2 % default budget.
+        let overhead = dep.plan.total_ramp_overhead_us(1);
+        assert!(overhead <= dep.plan.vanilla_total_us(1) * 0.02 + 1e-9);
+        assert!(dep.capacity > 0.85);
+    }
+
+    #[test]
+    fn uniform_deployment_covers_every_site() {
+        let model = zoo::vgg(13);
+        let dep = deploy_all_sites(
+            &model,
+            &semantics(&model),
+            RampArchitecture::Lightweight,
+            500,
+        );
+        assert_eq!(dep.plan.num_ramps(), dep.all_sites.len());
+        // Uniform placement blows through the budget — that is the point.
+        let budget_dep = deploy_budget_sites(
+            &model,
+            &semantics(&model),
+            &ApparateConfig::default(),
+            RampArchitecture::Lightweight,
+            500,
+        );
+        assert!(dep.plan.num_ramps() > budget_dep.plan.num_ramps());
+        assert!(dep.plan.total_ramp_overhead_us(1) > budget_dep.plan.total_ramp_overhead_us(1));
+    }
+}

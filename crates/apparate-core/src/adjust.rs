@@ -222,9 +222,11 @@ fn replace_negative(input: &AdjustInput<'_>, negative: &[usize]) -> AdjustDecisi
                 continue;
             }
             let ub_rate = interval_bounds[k];
-            let savings = ub_rate * input.window_requests as f64 * input.per_exit_saving_us[candidate];
-            let overhead =
-                (1.0 - ub_rate).max(0.0) * input.window_requests as f64 * input.per_request_overhead_us;
+            let savings =
+                ub_rate * input.window_requests as f64 * input.per_exit_saving_us[candidate];
+            let overhead = (1.0 - ub_rate).max(0.0)
+                * input.window_requests as f64
+                * input.per_request_overhead_us;
             let utility = savings - overhead;
             if utility > 0.0 && best.map(|(_, u)| utility > u).unwrap_or(true) {
                 best = Some((candidate, utility));
@@ -267,9 +269,7 @@ fn probe_earlier(input: &AdjustInput<'_>) -> AdjustDecision {
     if n < input.max_active {
         // Add a ramp immediately before the highest-utility ramp.
         let best_site = input.active_sites[best_idx];
-        let target = (0..best_site)
-            .rev()
-            .find(|site| !occupied.contains(site));
+        let target = (0..best_site).rev().find(|site| !occupied.contains(site));
         if let Some(site) = target {
             let mut new_active = occupied;
             new_active.push(site);
@@ -412,7 +412,10 @@ mod tests {
         let decision = adjust_ramps(&input);
         match decision.action {
             AdjustAction::ProbedEarlier { added } => {
-                assert_eq!(added, 7, "should add immediately before the best ramp (site 8)");
+                assert_eq!(
+                    added, 7,
+                    "should add immediately before the best ramp (site 8)"
+                );
                 assert_eq!(decision.new_active, vec![7, 8, 14]);
             }
             other => panic!("unexpected action {other:?}"),

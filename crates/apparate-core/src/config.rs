@@ -64,7 +64,10 @@ impl ApparateConfig {
             ));
         }
         if !(0.0..=1.0).contains(&self.ramp_budget) {
-            return Err(format!("ramp budget {} out of range [0, 1]", self.ramp_budget));
+            return Err(format!(
+                "ramp budget {} out of range [0, 1]",
+                self.ramp_budget
+            ));
         }
         if self.accuracy_window == 0 || self.tuning_window == 0 {
             return Err("windows must be non-empty".to_string());
@@ -111,21 +114,37 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(ApparateConfig { accuracy_constraint: 0.9, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(ApparateConfig { ramp_budget: 1.5, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(ApparateConfig { accuracy_window: 0, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(ApparateConfig { smallest_step: 0.2, initial_step: 0.1, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(ApparateConfig { ramp_adjust_period: 0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(ApparateConfig {
+            accuracy_constraint: 0.9,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ApparateConfig {
+            ramp_budget: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ApparateConfig {
+            accuracy_window: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ApparateConfig {
+            smallest_step: 0.2,
+            initial_step: 0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ApparateConfig {
+            ramp_adjust_period: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -93,7 +93,8 @@ impl Monitor {
         if self.accuracy_window.is_empty() {
             return 1.0;
         }
-        self.accuracy_window.iter().filter(|&&c| c).count() as f64 / self.accuracy_window.len() as f64
+        self.accuracy_window.iter().filter(|&&c| c).count() as f64
+            / self.accuracy_window.len() as f64
     }
 
     /// True once the trigger window has filled at least once.
@@ -165,7 +166,10 @@ mod tests {
         RequestFeedback {
             observations: entropies
                 .iter()
-                .map(|&e| RampObservation { entropy: e, agrees: correct })
+                .map(|&e| RampObservation {
+                    entropy: e,
+                    agrees: correct,
+                })
                 .collect(),
             exited,
             correct,

@@ -198,7 +198,10 @@ mod tests {
         let config = ApparateConfig::default();
         let placement = initial_placement(&model, &config, RampArchitecture::Lightweight);
         assert!(placement.max_active >= 1);
-        assert_eq!(placement.active.len(), placement.max_active.min(placement.all_sites.len()));
+        assert_eq!(
+            placement.active.len(),
+            placement.max_active.min(placement.all_sites.len())
+        );
         let bigger = initial_placement(
             &model,
             &config.with_ramp_budget(0.10),

@@ -40,7 +40,10 @@ impl<'a> ThresholdEvaluator<'a> {
     /// Create an evaluator. `savings_us[i]` must correspond to ramp `i` of the
     /// recorded observations.
     pub fn new(records: &'a [RequestFeedback], savings_us: &'a [f64]) -> Self {
-        ThresholdEvaluator { records, savings_us }
+        ThresholdEvaluator {
+            records,
+            savings_us,
+        }
     }
 
     /// Number of ramps being tuned.
@@ -110,6 +113,12 @@ pub struct GreedyParams {
     pub initial_step: f64,
     /// Smallest step size (0.01).
     pub smallest_step: f64,
+    /// Upper bound on any tuned threshold (1.0 = unconstrained). A cap below
+    /// 1.0 guards against window censoring: when the recent window contains no
+    /// hard inputs at a deep ramp, an unconstrained search saturates that
+    /// ramp's threshold ("exit everything that reaches it") with zero
+    /// in-window errors but unbounded exposure to workload drift.
+    pub max_threshold: f64,
 }
 
 impl Default for GreedyParams {
@@ -118,6 +127,7 @@ impl Default for GreedyParams {
             accuracy_loss_budget: 0.01,
             initial_step: 0.1,
             smallest_step: 0.01,
+            max_threshold: 1.0,
         }
     }
 }
@@ -130,6 +140,7 @@ pub fn greedy_tune(evaluator: &ThresholdEvaluator<'_>, params: GreedyParams) -> 
     let mut steps = vec![params.initial_step; n];
     let mut evaluations = 0usize;
     let accuracy_floor = 1.0 - params.accuracy_loss_budget;
+    let threshold_cap = params.max_threshold.clamp(0.0, 1.0);
     let mut current = evaluator.evaluate(&thresholds);
     evaluations += 1;
     // Safety bound far above anything the algorithm needs; prevents a
@@ -140,7 +151,7 @@ pub fn greedy_tune(evaluator: &ThresholdEvaluator<'_>, params: GreedyParams) -> 
         let mut overstepped: Vec<usize> = Vec::new();
         let mut any_candidate = false;
         for ramp in 0..n {
-            let proposed = (thresholds[ramp] + steps[ramp]).min(1.0);
+            let proposed = (thresholds[ramp] + steps[ramp]).min(threshold_cap);
             if proposed <= thresholds[ramp] {
                 continue; // already saturated at 1.0
             }
@@ -169,7 +180,7 @@ pub fn greedy_tune(evaluator: &ThresholdEvaluator<'_>, params: GreedyParams) -> 
         }
         match best {
             Some((ramp, _, eval)) => {
-                thresholds[ramp] = (thresholds[ramp] + steps[ramp]).min(1.0);
+                thresholds[ramp] = (thresholds[ramp] + steps[ramp]).min(threshold_cap);
                 steps[ramp] *= 2.0; // multiplicative increase on a promising path
                 current = eval;
             }
@@ -205,7 +216,7 @@ pub fn grid_tune(
     let n = evaluator.num_ramps();
     let levels: Vec<f64> = {
         let mut v = Vec::new();
-        let mut t = 0.0;
+        let mut t = 0.0f64;
         while t < 1.0 + 1e-9 {
             v.push(t.min(1.0));
             t += step;
@@ -240,7 +251,9 @@ pub fn grid_tune(
         let candidate: Vec<f64> = indices.iter().map(|&i| levels[i]).collect();
         let eval = evaluator.evaluate(&candidate);
         evaluations += 1;
-        if eval.accuracy + 1e-12 >= accuracy_floor && eval.mean_savings_us > best_eval.mean_savings_us {
+        if eval.accuracy + 1e-12 >= accuracy_floor
+            && eval.mean_savings_us > best_eval.mean_savings_us
+        {
             best_eval = eval;
             best_thresholds = candidate;
         }
@@ -309,7 +322,10 @@ mod tests {
         let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
         let outcome = greedy_tune(&evaluator, GreedyParams::default());
         assert!(outcome.evaluation.accuracy >= 0.99 - 1e-9);
-        assert!(outcome.evaluation.mean_savings_us > 0.0, "greedy should find some savings");
+        assert!(
+            outcome.evaluation.mean_savings_us > 0.0,
+            "greedy should find some savings"
+        );
         assert!(outcome.thresholds.iter().all(|&t| (0.0..=1.0).contains(&t)));
     }
 
@@ -341,11 +357,17 @@ mod tests {
         let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
         let loose = greedy_tune(
             &evaluator,
-            GreedyParams { accuracy_loss_budget: 0.05, ..Default::default() },
+            GreedyParams {
+                accuracy_loss_budget: 0.05,
+                ..Default::default()
+            },
         );
         let tight = greedy_tune(
             &evaluator,
-            GreedyParams { accuracy_loss_budget: 0.005, ..Default::default() },
+            GreedyParams {
+                accuracy_loss_budget: 0.005,
+                ..Default::default()
+            },
         );
         assert!(loose.evaluation.mean_savings_us >= tight.evaluation.mean_savings_us);
         assert!(tight.evaluation.accuracy >= 0.995 - 1e-9);
@@ -375,7 +397,13 @@ mod tests {
         // search should raise ramp 0's threshold at least as far as ramp 1's.
         let records = window(400, 7);
         let evaluator = ThresholdEvaluator::new(&records, &SAVINGS);
-        let outcome = greedy_tune(&evaluator, GreedyParams { accuracy_loss_budget: 0.02, ..Default::default() });
+        let outcome = greedy_tune(
+            &evaluator,
+            GreedyParams {
+                accuracy_loss_budget: 0.02,
+                ..Default::default()
+            },
+        );
         assert!(outcome.thresholds[0] >= outcome.thresholds[1] * 0.5);
     }
 }

@@ -140,7 +140,11 @@ mod tests {
         assert!(report.estimated_minutes > 0.0 && report.estimated_minutes <= 30.0);
         // §3.1: ramps comprise 0.01–3.50 % of model parameters; with every
         // feasible site ramped we should still stay in single-digit percent.
-        assert!(report.param_fraction < 0.10, "fraction {}", report.param_fraction);
+        assert!(
+            report.param_fraction < 0.10,
+            "fraction {}",
+            report.param_fraction
+        );
         for r in &ramps {
             assert!(r.capacity > 0.85 && r.capacity <= 1.0);
             let placement = r.placement();

@@ -43,7 +43,11 @@ pub struct ExecutionPlan {
 impl ExecutionPlan {
     /// Build a plan. Ramps are sorted by topological position; duplicate sites
     /// are rejected in debug builds.
-    pub fn new(model: ZooModel, semantics: SemanticsModel, mut ramps: Vec<RampPlacement>) -> ExecutionPlan {
+    pub fn new(
+        model: ZooModel,
+        semantics: SemanticsModel,
+        mut ramps: Vec<RampPlacement>,
+    ) -> ExecutionPlan {
         ramps.sort_by_key(|r| model.graph.topo_position(r.site));
         let ramp_positions = ramps
             .iter()
@@ -125,7 +129,10 @@ impl ExecutionPlan {
     /// available: model prefix up to the ramp's site plus the cost of this and
     /// all earlier ramps, in µs.
     pub fn ramp_offset_us(&self, ramp_idx: usize, batch: u32) -> f64 {
-        let prefix = self.model.latency.prefix_us(self.ramp_positions[ramp_idx], batch);
+        let prefix = self
+            .model
+            .latency
+            .prefix_us(self.ramp_positions[ramp_idx], batch);
         let ramp_costs: f64 = self.ramps[..=ramp_idx]
             .iter()
             .map(|r| r.cost.latency_us(batch))
@@ -300,8 +307,7 @@ mod tests {
     #[test]
     fn execute_batch_gives_observation_per_ramp_per_request() {
         let plan = plan_with_ramps(3);
-        let samples: Vec<SampleSemantics> =
-            (0..16).map(|i| SampleSemantics::new(i, 0.3)).collect();
+        let samples: Vec<SampleSemantics> = (0..16).map(|i| SampleSemantics::new(i, 0.3)).collect();
         let exec = plan.execute_batch(&samples);
         assert_eq!(exec.batch_size, 16);
         assert_eq!(exec.per_request.len(), 16);
@@ -314,15 +320,33 @@ mod tests {
     fn earliest_exit_respects_thresholds() {
         let obs = RequestObservations {
             ramp_observations: vec![
-                RampObservation { entropy: 0.8, agrees: false },
-                RampObservation { entropy: 0.3, agrees: true },
-                RampObservation { entropy: 0.1, agrees: true },
+                RampObservation {
+                    entropy: 0.8,
+                    agrees: false,
+                },
+                RampObservation {
+                    entropy: 0.3,
+                    agrees: true,
+                },
+                RampObservation {
+                    entropy: 0.1,
+                    agrees: true,
+                },
             ],
         };
         assert_eq!(BatchExecution::earliest_exit(&obs, &[0.0, 0.0, 0.0]), None);
-        assert_eq!(BatchExecution::earliest_exit(&obs, &[0.0, 0.4, 0.0]), Some(1));
-        assert_eq!(BatchExecution::earliest_exit(&obs, &[0.9, 0.4, 0.2]), Some(0));
-        assert_eq!(BatchExecution::earliest_exit(&obs, &[0.5, 0.0, 0.2]), Some(2));
+        assert_eq!(
+            BatchExecution::earliest_exit(&obs, &[0.0, 0.4, 0.0]),
+            Some(1)
+        );
+        assert_eq!(
+            BatchExecution::earliest_exit(&obs, &[0.9, 0.4, 0.2]),
+            Some(0)
+        );
+        assert_eq!(
+            BatchExecution::earliest_exit(&obs, &[0.5, 0.0, 0.2]),
+            Some(2)
+        );
     }
 
     #[test]

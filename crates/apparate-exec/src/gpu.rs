@@ -25,7 +25,10 @@ pub enum GpuError {
 impl std::fmt::Display for GpuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GpuError::OutOfMemory { requested, available } => write!(
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "GPU out of memory: requested {requested} bytes, {available} available"
             ),

@@ -19,5 +19,7 @@ pub mod semantics;
 
 pub use engine::{BatchExecution, ExecutionPlan, RampPlacement, RequestObservations};
 pub use gpu::{GpuDevice, GpuError};
-pub use profiler::{feedback_link, FeedbackReceiver, FeedbackSender, LinkCost, LinkStats, ProfileRecord};
+pub use profiler::{
+    feedback_link, FeedbackReceiver, FeedbackSender, LinkCost, LinkStats, ProfileRecord,
+};
 pub use semantics::{RampObservation, SampleSemantics, SemanticsModel};

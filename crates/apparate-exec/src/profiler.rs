@@ -14,7 +14,7 @@
 
 use crate::semantics::RampObservation;
 use apparate_sim::{SimDuration, SimTime};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -163,16 +163,11 @@ impl FeedbackReceiver {
     pub fn poll(&mut self, now: SimTime) -> Vec<ProfileRecord> {
         let mut ready = Vec::new();
         let mut requeue = Vec::new();
-        loop {
-            match self.rx.try_recv() {
-                Ok((deliver_at, record)) => {
-                    if deliver_at <= now {
-                        ready.push(record);
-                    } else {
-                        requeue.push((deliver_at, record));
-                    }
-                }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+        while let Ok((deliver_at, record)) = self.rx.try_recv() {
+            if deliver_at <= now {
+                ready.push(record);
+            } else {
+                requeue.push((deliver_at, record));
             }
         }
         // Anything not yet delivered is conceptually still on the wire; since
@@ -214,7 +209,16 @@ mod tests {
         ProfileRecord {
             completed_at: SimTime::from_millis(at_ms),
             batch_size: batch,
-            observations: vec![vec![RampObservation { entropy: 0.2, agrees: true }; 2]; batch as usize],
+            observations: vec![
+                vec![
+                    RampObservation {
+                        entropy: 0.2,
+                        agrees: true
+                    };
+                    2
+                ];
+                batch as usize
+            ],
             request_ids: (0..batch as u64).collect(),
         }
     }
@@ -261,7 +265,16 @@ mod tests {
         let rec = ProfileRecord {
             completed_at: SimTime::ZERO,
             batch_size: 16,
-            observations: vec![vec![RampObservation { entropy: 0.1, agrees: true }; 4]; 16],
+            observations: vec![
+                vec![
+                    RampObservation {
+                        entropy: 0.1,
+                        agrees: true
+                    };
+                    4
+                ];
+                16
+            ],
             request_ids: (0..16).collect(),
         };
         assert!(rec.wire_bytes() < 2048, "wire bytes {}", rec.wire_bytes());
@@ -269,7 +282,10 @@ mod tests {
 
     #[test]
     fn out_of_order_polls_sort_by_completion() {
-        let (tx, mut rx) = feedback_link(LinkCost { fixed_us: 0.0, per_kib_us: 0.0 });
+        let (tx, mut rx) = feedback_link(LinkCost {
+            fixed_us: 0.0,
+            per_kib_us: 0.0,
+        });
         tx.send(record(20, 1));
         tx.send(record(10, 1));
         let got = rx.poll(SimTime::from_millis(30));

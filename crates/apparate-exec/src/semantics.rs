@@ -120,7 +120,13 @@ impl SemanticsModel {
 
     /// Latent margin between ramp power and input difficulty, plus a stable
     /// per-(input, ramp) perturbation.
-    fn margin(&self, sample: &SampleSemantics, ramp_key: u64, depth_fraction: f64, capacity: f64) -> f64 {
+    fn margin(
+        &self,
+        sample: &SampleSemantics,
+        ramp_key: u64,
+        depth_fraction: f64,
+        capacity: f64,
+    ) -> f64 {
         let power = self.ramp_power(depth_fraction, capacity);
         // The per-input noise must be identical across depths so that margin is
         // monotone in depth for each individual input; the per-ramp component
@@ -177,7 +183,9 @@ mod tests {
     }
 
     fn samples(n: u64, difficulty: impl Fn(u64) -> f64) -> Vec<SampleSemantics> {
-        (0..n).map(|i| SampleSemantics::new(i, difficulty(i))).collect()
+        (0..n)
+            .map(|i| SampleSemantics::new(i, difficulty(i)))
+            .collect()
     }
 
     #[test]
@@ -249,8 +257,14 @@ mod tests {
         let (e_low, a_low) = eval(0.2);
         let (e_mid, a_mid) = eval(0.5);
         let (e_high, a_high) = eval(0.9);
-        assert!(e_low <= e_mid && e_mid <= e_high, "exit counts must be monotone");
-        assert!(a_low >= a_mid - 0.02 && a_mid >= a_high - 0.02, "exit accuracy should fall");
+        assert!(
+            e_low <= e_mid && e_mid <= e_high,
+            "exit counts must be monotone"
+        );
+        assert!(
+            a_low >= a_mid - 0.02 && a_mid >= a_high - 0.02,
+            "exit accuracy should fall"
+        );
         assert!(e_high > e_low);
         assert!(a_low > a_high);
     }
@@ -261,7 +275,10 @@ mod tests {
         let ss = samples(500, |i| (i as f64 * 0.13) % 1.0);
         for s in &ss {
             let obs = m.observe(s, 10, 0.9, 1.0);
-            assert!(obs.entropy > 0.0 || obs.agrees, "entropy is almost surely positive");
+            assert!(
+                obs.entropy > 0.0 || obs.agrees,
+                "entropy is almost surely positive"
+            );
         }
     }
 

@@ -1,1 +1,108 @@
-fn main() {}
+//! `repro` — the end-to-end comparison harness.
+//!
+//! Runs Apparate head-to-head against the baseline family (vanilla,
+//! static-ee, uniform-ee, oneshot-tuned, oracle) over the CV, NLP and
+//! generative scenarios and prints paper-style latency/accuracy/throughput win
+//! tables. Output is deterministic: the same `--seed` always produces the
+//! same tables.
+//!
+//! ```text
+//! repro [--seed N] [--quick] [--scenario cv|nlp|generative|all]
+//! ```
+
+use apparate_experiments::{
+    cv_scenario, generative_scenario, nlp_scenario, run_classification, run_generative,
+};
+
+struct Args {
+    seed: u64,
+    quick: bool,
+    scenario: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        quick: false,
+        scenario: "all".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = it.next().ok_or("--seed requires a value")?;
+                args.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--quick" => args.quick = true,
+            "--scenario" => {
+                let value = it.next().ok_or("--scenario requires a value")?;
+                match value.as_str() {
+                    "cv" | "nlp" | "generative" | "all" => args.scenario = value,
+                    other => return Err(format!("unknown scenario: {other}")),
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--seed N] [--quick] [--scenario cv|nlp|generative|all]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Print to stdout, exiting quietly when the consumer has gone away
+/// (`repro | head` must not panic on the broken pipe).
+fn emit(text: &str) {
+    use std::io::Write;
+    if let Err(error) = std::io::stdout().write_all(text.as_bytes()) {
+        if error.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        panic!("failed writing to stdout: {error}");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("repro: {message}");
+            std::process::exit(2);
+        }
+    };
+    // Workload sizes: the serving split is 90 % of these counts (§3.1's
+    // bootstrap takes the first 10 %).
+    let (cv_frames, nlp_requests, gen_requests) = if args.quick {
+        (3_000, 3_000, 60)
+    } else {
+        (9_000, 9_000, 150)
+    };
+
+    emit(&format!(
+        "apparate repro  (seed {}, {} mode)\n\
+         policies: vanilla | static-ee | uniform-ee | oneshot-tuned | apparate | oracle\n\n",
+        args.seed,
+        if args.quick { "quick" } else { "full" }
+    ));
+
+    if args.scenario == "all" || args.scenario == "cv" {
+        let table = run_classification(&cv_scenario(args.seed, cv_frames));
+        emit(&format!("{}\n", table.render()));
+    }
+    if args.scenario == "all" || args.scenario == "nlp" {
+        let table = run_classification(&nlp_scenario(args.seed, nlp_requests));
+        emit(&format!("{}\n", table.render()));
+    }
+    if args.scenario == "all" || args.scenario == "generative" {
+        let table = run_generative(&generative_scenario(args.seed, gen_requests));
+        emit(&format!("{}\n", table.render()));
+    }
+
+    emit(
+        "wins are % latency reduction vs. vanilla at the same percentile (higher is better);\n\
+         oracle is the zero-overhead hindsight optimal (lower bound), not a realisable policy.\n",
+    );
+}

@@ -1,0 +1,548 @@
+//! The live Apparate controller: the threshold/adjust/monitor loop of §3
+//! wired into the serving platform's policy hooks.
+//!
+//! `apparate-core` provides the individual algorithms (greedy threshold
+//! tuning, utility-driven ramp adjustment, monitoring windows); this module
+//! composes them into a closed loop that runs *inside* a serving simulation:
+//!
+//! 1. every batch/decode step produces per-ramp observations for every
+//!    request (free, because inputs run to the model head, §3.2);
+//! 2. the monitor ingests them; an accuracy violation over the 16-sample
+//!    window triggers threshold re-tuning on the recorded tuning window;
+//! 3. every `ramp_adjust_period` requests the utility-based ramp adjuster
+//!    (Algorithm 2) deactivates harmful ramps, trials replacements, or probes
+//!    earlier positions, after which thresholds are re-tuned.
+
+use apparate_baselines::{
+    exit_outcome, offline_tuned_thresholds, per_ramp_savings_us, RampDeployment,
+};
+use apparate_core::{
+    adjust_ramps, greedy_tune, ramp_utilities, AdjustInput, ApparateConfig, GreedyParams, Monitor,
+    RequestFeedback, ThresholdEvaluator, TrainedRamp,
+};
+use apparate_exec::{ExecutionPlan, SampleSemantics};
+use apparate_serving::{BatchOutcome, ExitPolicy, Request, StepOutcome, TokenPolicy, TokenSlot};
+use apparate_sim::{SimDuration, SimTime};
+
+/// Counters describing what the controller did during a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerStats {
+    /// Threshold-tuning rounds executed.
+    pub tuning_rounds: usize,
+    /// Ramp-adjustment rounds executed.
+    pub adjustment_rounds: usize,
+    /// Adjustment rounds that changed the active ramp set.
+    pub ramp_changes: usize,
+}
+
+/// The shared controller core driving both the classification and the
+/// generative policy wrappers.
+struct ControllerCore {
+    plan: ExecutionPlan,
+    config: ApparateConfig,
+    thresholds: Vec<f64>,
+    monitor: Monitor,
+    /// Feasible-site bookkeeping for ramp adjustment.
+    all_sites: Vec<apparate_core::RampSite>,
+    active_sites: Vec<usize>,
+    max_active: usize,
+    capacity: f64,
+    /// Reference batch size for savings/overhead accounting.
+    reference_batch: u32,
+    /// Per-feasible-site per-exit savings (µs) at the reference batch.
+    site_savings_us: Vec<f64>,
+    /// Whether ramp adjustment is enabled (classification: yes; the token
+    /// controller currently adapts thresholds only).
+    adjust_enabled: bool,
+    /// Per-active-ramp exit counts since the last adjustment round. Tracked
+    /// here (not via the monitor) so a no-op adjustment round does not have to
+    /// clear the threshold-tuning window.
+    adjust_exits: Vec<u64>,
+    /// Requests observed since the last adjustment round.
+    adjust_requests: u64,
+    needs_tune: bool,
+    records_since_tune: usize,
+    stats: ControllerStats,
+}
+
+/// Fraction of the accuracy budget the tuner may spend *in-window*; the rest
+/// absorbs generalisation error and drift between retunes.
+const TUNING_SAFETY: f64 = 0.6;
+
+/// Cap on tuned thresholds: an exit is only taken on genuinely confident ramp
+/// output. Uncapped tuning saturates deep-ramp thresholds whenever the window
+/// happens to contain no hard inputs at that depth (censoring), which is
+/// exactly where drift then bites hardest.
+const MAX_TUNED_THRESHOLD: f64 = 0.35;
+
+impl ControllerCore {
+    /// Warm-start thresholds from offline calibration samples (the bootstrap
+    /// validation split, §3.1): the paper tunes initial thresholds on
+    /// bootstrap data before serving begins, so the controller does not have
+    /// to serve a whole tuning window at thresholds 0 first.
+    fn warm_start(&mut self, calibration: &[SampleSemantics]) {
+        if calibration.is_empty() || self.plan.num_ramps() == 0 {
+            return;
+        }
+        let outcome = offline_tuned_thresholds(
+            &self.plan,
+            calibration,
+            self.tuning_params(),
+            self.reference_batch,
+        );
+        self.thresholds = outcome.thresholds;
+        self.needs_tune = false;
+        self.stats.tuning_rounds += 1;
+    }
+
+    /// The (conservative) greedy-search parameters every tuning round uses.
+    fn tuning_params(&self) -> GreedyParams {
+        GreedyParams {
+            // Tune against a fraction of the user's budget: the greedy search
+            // picks the savings-maximal configuration that scrapes the
+            // in-window floor, so its out-of-window accuracy is systematically
+            // below the floor (winner's curse). Spending only part of the
+            // budget in-window keeps the *realised* loss within the
+            // constraint.
+            accuracy_loss_budget: self.config.accuracy_constraint * TUNING_SAFETY,
+            initial_step: self.config.initial_step,
+            smallest_step: self.config.smallest_step,
+            max_threshold: MAX_TUNED_THRESHOLD,
+        }
+    }
+
+    fn new(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        adjust_enabled: bool,
+    ) -> ControllerCore {
+        config.validate().expect("valid Apparate configuration");
+        let RampDeployment {
+            plan,
+            all_sites,
+            active_sites,
+            max_active,
+            capacity,
+        } = deployment;
+        let site_savings_us = all_sites
+            .iter()
+            .map(|s| {
+                (plan.vanilla_total_us(reference_batch)
+                    - plan.site_prefix_us(s.site, reference_batch))
+                .max(0.0)
+            })
+            .collect();
+        let num_ramps = plan.num_ramps();
+        ControllerCore {
+            thresholds: vec![0.0; num_ramps],
+            monitor: Monitor::new(num_ramps, config.accuracy_window, config.tuning_window),
+            plan,
+            config,
+            all_sites,
+            active_sites,
+            max_active,
+            capacity,
+            reference_batch,
+            site_savings_us,
+            adjust_enabled,
+            adjust_exits: vec![0; num_ramps],
+            adjust_requests: 0,
+            needs_tune: true,
+            records_since_tune: 0,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Process one batch of samples: produce release decisions, feed the
+    /// monitor, and run any triggered adaptation.
+    fn step(
+        &mut self,
+        samples: &[SampleSemantics],
+    ) -> (SimDuration, Vec<apparate_serving::RequestOutcome>) {
+        let exec = self.plan.execute_batch(samples);
+        let b = samples.len() as u32;
+        let outcomes: Vec<apparate_serving::RequestOutcome> = exec
+            .per_request
+            .iter()
+            .map(|obs| exit_outcome(&self.plan, obs, &self.thresholds, b))
+            .collect();
+        for (obs, outcome) in exec.per_request.iter().zip(outcomes.iter()) {
+            self.monitor.record(RequestFeedback {
+                observations: obs.ramp_observations.clone(),
+                exited: outcome.exit_ramp,
+                correct: outcome.correct,
+                batch_size: b,
+            });
+            if let Some(ramp) = outcome.exit_ramp {
+                self.adjust_exits[ramp] += 1;
+            }
+            self.adjust_requests += 1;
+            self.records_since_tune += 1;
+        }
+        self.maybe_adjust();
+        self.maybe_tune();
+        (
+            SimDuration::from_micros_f64(self.plan.gpu_batch_time_us(b)),
+            outcomes,
+        )
+    }
+
+    fn accuracy_floor(&self) -> f64 {
+        1.0 - self.config.accuracy_constraint
+    }
+
+    fn maybe_tune(&mut self) {
+        // Tuning only ever runs on a *full* window: with the 0.99 accuracy
+        // floor, a short window accepts threshold configurations with zero
+        // in-window errors that generalise poorly (saturated thresholds),
+        // which is precisely the over-aggressiveness the floor is meant to
+        // prevent.
+        if self.plan.num_ramps() == 0
+            || self.monitor.tuning_window_len() < self.config.tuning_window
+        {
+            return;
+        }
+        let initial_due = self.needs_tune;
+        let violation_due = self.monitor.accuracy_window_full()
+            && self.monitor.windowed_accuracy() + 1e-12 < self.accuracy_floor()
+            && self.records_since_tune >= self.config.accuracy_window;
+        if !initial_due && !violation_due {
+            return;
+        }
+        let records = self.monitor.tuning_records();
+        if records.is_empty() {
+            return;
+        }
+        let savings = per_ramp_savings_us(&self.plan, self.reference_batch);
+        let evaluator = ThresholdEvaluator::new(&records, &savings);
+        let outcome = greedy_tune(&evaluator, self.tuning_params());
+        self.thresholds = outcome.thresholds;
+        self.needs_tune = false;
+        self.records_since_tune = 0;
+        // Restart the adjustment window: utilities must describe the ramps'
+        // behaviour under the thresholds actually deployed.
+        self.adjust_exits = vec![0; self.plan.num_ramps()];
+        self.adjust_requests = 0;
+        self.stats.tuning_rounds += 1;
+    }
+
+    fn maybe_adjust(&mut self) {
+        // Never adjust ramps that have not been threshold-tuned yet: with
+        // all-zero thresholds nothing exits, every ramp's utility is pure
+        // overhead, and the adjuster would (correctly, but uselessly)
+        // deactivate the entire deployment before it ever got a chance.
+        if !self.adjust_enabled
+            || self.needs_tune
+            || self.plan.num_ramps() == 0
+            || self.adjust_requests < self.config.ramp_adjust_period as u64
+        {
+            return;
+        }
+        self.stats.adjustment_rounds += 1;
+        let active_savings = per_ramp_savings_us(&self.plan, self.reference_batch);
+        let active_overheads: Vec<f64> = self
+            .plan
+            .ramps()
+            .iter()
+            .map(|r| r.cost.latency_us(self.reference_batch))
+            .collect();
+        let utilities = ramp_utilities(
+            &self.adjust_exits,
+            self.adjust_requests,
+            &active_savings,
+            &active_overheads,
+        );
+        let nets: Vec<f64> = utilities.iter().map(|u| u.net_us()).collect();
+        let per_request_overhead_us = active_overheads.iter().copied().fold(0.0f64, f64::max);
+        let exit_rates: Vec<f64> = self
+            .adjust_exits
+            .iter()
+            .map(|&e| e as f64 / self.adjust_requests.max(1) as f64)
+            .collect();
+        let decision = adjust_ramps(&AdjustInput {
+            num_sites: self.all_sites.len(),
+            active_sites: &self.active_sites,
+            utilities_us: &nets,
+            exit_rates: &exit_rates,
+            window_requests: self.adjust_requests,
+            per_exit_saving_us: &self.site_savings_us,
+            per_request_overhead_us,
+            max_active: self.max_active,
+        });
+        if decision.new_active != self.active_sites {
+            // Carry thresholds for retained ramps; newly added ramps start at 0
+            // until the post-adjustment tuning round (§3.3).
+            let old: Vec<(usize, f64)> = self
+                .active_sites
+                .iter()
+                .copied()
+                .zip(self.thresholds.iter().copied())
+                .collect();
+            let placements = decision
+                .new_active
+                .iter()
+                .map(|&idx| {
+                    TrainedRamp {
+                        site: self.all_sites[idx],
+                        capacity: self.capacity,
+                    }
+                    .placement()
+                })
+                .collect();
+            self.plan = self.plan.with_ramps(placements);
+            self.thresholds = decision
+                .new_active
+                .iter()
+                .map(|&idx| {
+                    old.iter()
+                        .find(|(site, _)| *site == idx)
+                        .map(|(_, thr)| *thr)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            self.active_sites = decision.new_active;
+            self.needs_tune = true;
+            self.stats.ramp_changes += 1;
+            // Recorded observations no longer line up with the new ramp
+            // indices; the tuning window must refill before the next tune.
+            self.monitor.reset_for_new_ramps(self.plan.num_ramps());
+        }
+        self.adjust_exits = vec![0; self.plan.num_ramps()];
+        self.adjust_requests = 0;
+    }
+}
+
+/// Apparate's adaptive [`ExitPolicy`] for classification serving.
+pub struct ApparatePolicy {
+    core: ControllerCore,
+    name: String,
+}
+
+impl ApparatePolicy {
+    /// Deploy Apparate over a prepared ramp deployment with all-zero initial
+    /// thresholds (the first tune happens online, once the window fills).
+    pub fn new(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+    ) -> ApparatePolicy {
+        ApparatePolicy {
+            core: ControllerCore::new(deployment, config, reference_batch, true),
+            name: "apparate".to_string(),
+        }
+    }
+
+    /// Deploy Apparate with thresholds warm-started on offline calibration
+    /// samples (the bootstrap validation split, §3.1), then adapt online.
+    pub fn warm_started(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        calibration: &[SampleSemantics],
+    ) -> ApparatePolicy {
+        let mut policy = ApparatePolicy::new(deployment, config, reference_batch);
+        policy.core.warm_start(calibration);
+        policy
+    }
+
+    /// Current per-ramp thresholds (for reports and tests).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.core.thresholds
+    }
+
+    /// Currently active feasible-site indices.
+    pub fn active_sites(&self) -> &[usize] {
+        &self.core.active_sites
+    }
+
+    /// Adaptation counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.core.stats
+    }
+}
+
+impl ExitPolicy for ApparatePolicy {
+    fn process_batch(&mut self, batch: &[Request], _batch_start: SimTime) -> BatchOutcome {
+        let samples: Vec<SampleSemantics> = batch.iter().map(|r| r.semantics).collect();
+        let (gpu_time, per_request) = self.core.step(&samples);
+        BatchOutcome {
+            gpu_time,
+            per_request,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Apparate's adaptive [`TokenPolicy`] for generative serving.
+///
+/// Token-level adaptation re-tunes thresholds continuously exactly as the
+/// classification controller does; ramp-set adjustment is left static for now
+/// (generative ramps reuse the decoder head at every block, §3.1, so the
+/// placement search space is uniform to begin with).
+pub struct ApparateTokenPolicy {
+    core: ControllerCore,
+    name: String,
+}
+
+impl ApparateTokenPolicy {
+    /// Deploy the token controller over a prepared ramp deployment.
+    pub fn new(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+    ) -> ApparateTokenPolicy {
+        ApparateTokenPolicy {
+            core: ControllerCore::new(deployment, config, reference_batch, false),
+            name: "apparate".to_string(),
+        }
+    }
+
+    /// Deploy the token controller with thresholds warm-started on offline
+    /// calibration tokens, then adapt online.
+    pub fn warm_started(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        calibration: &[SampleSemantics],
+    ) -> ApparateTokenPolicy {
+        let mut policy = ApparateTokenPolicy::new(deployment, config, reference_batch);
+        policy.core.warm_start(calibration);
+        policy
+    }
+
+    /// Current per-ramp thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.core.thresholds
+    }
+
+    /// Adaptation counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.core.stats
+    }
+}
+
+impl TokenPolicy for ApparateTokenPolicy {
+    fn process_step(&mut self, slots: &[TokenSlot], _step_start: SimTime) -> StepOutcome {
+        let samples: Vec<SampleSemantics> = slots.iter().map(|s| s.semantics).collect();
+        let (_full_pass, outcomes) = self.core.step(&samples);
+        let per_token: Vec<apparate_serving::TokenOutcome> = outcomes
+            .into_iter()
+            .map(|o| apparate_serving::TokenOutcome {
+                release_offset: o.release_offset,
+                exit_ramp: o.exit_ramp,
+                correct: o.correct,
+            })
+            .collect();
+        StepOutcome {
+            // §3.4 parallel decoding: the step advances once every token has
+            // released; the non-exited suffix overlaps subsequent steps.
+            gpu_time: apparate_baselines::step_gpu_time(&per_token),
+            per_token,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apparate_baselines::deploy_budget_sites;
+    use apparate_core::RampArchitecture;
+    use apparate_exec::SemanticsModel;
+    use apparate_model::zoo;
+
+    fn deployment(seed: u64) -> RampDeployment {
+        let model = zoo::resnet(50);
+        let semantics = SemanticsModel::new(seed, model.descriptor.overparameterization);
+        deploy_budget_sites(
+            &model,
+            &semantics,
+            &ApparateConfig::default(),
+            RampArchitecture::Lightweight,
+            400,
+        )
+    }
+
+    fn request(i: u64, difficulty: f64) -> Request {
+        Request::classification(
+            i,
+            SimTime::ZERO,
+            SampleSemantics::new(i * 977, difficulty),
+            None,
+        )
+    }
+
+    #[test]
+    fn controller_starts_conservative_then_tunes_up() {
+        let mut policy = ApparatePolicy::new(deployment(3), ApparateConfig::default(), 4);
+        assert!(policy.thresholds().iter().all(|&t| t == 0.0));
+        // Feed easy traffic in batches of 8 until past the first tuning round.
+        let mut exited_late = 0usize;
+        for round in 0..40u64 {
+            let batch: Vec<Request> = (0..8)
+                .map(|i| request(round * 8 + i, 0.15 + 0.1 * ((i % 4) as f64 / 4.0)))
+                .collect();
+            let out = policy.process_batch(&batch, SimTime::ZERO);
+            if round >= 10 {
+                exited_late += out
+                    .per_request
+                    .iter()
+                    .filter(|o| o.exit_ramp.is_some())
+                    .count();
+            }
+        }
+        assert!(policy.stats().tuning_rounds >= 1, "tuning should have run");
+        assert!(
+            policy.thresholds().iter().any(|&t| t > 0.0),
+            "tuning should open at least one ramp"
+        );
+        assert!(exited_late > 0, "easy inputs should exit after tuning");
+    }
+
+    #[test]
+    fn controller_runs_ramp_adjustment_rounds() {
+        let config = ApparateConfig::default();
+        let mut policy = ApparatePolicy::new(deployment(9), config, 4);
+        for round in 0..150u64 {
+            let batch: Vec<Request> = (0..8)
+                .map(|i| request(round * 8 + i, 0.3 + 0.2 * ((i % 5) as f64 / 5.0)))
+                .collect();
+            policy.process_batch(&batch, SimTime::ZERO);
+        }
+        // 1 200 requests with a 128-request adjustment period (each tuning
+        // round restarts the window): several rounds must have run.
+        assert!(policy.stats().adjustment_rounds >= 2);
+        // The active set stays within budget and sorted.
+        let sites = policy.active_sites();
+        assert!(sites.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn accuracy_stays_near_constraint_under_drift() {
+        let mut policy = ApparatePolicy::new(deployment(11), ApparateConfig::default(), 4);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for round in 0..150u64 {
+            // Difficulty drifts upward mid-run (scene change).
+            let base = if round < 75 { 0.2 } else { 0.45 };
+            let batch: Vec<Request> = (0..8)
+                .map(|i| request(round * 8 + i, base + 0.05 * ((i % 3) as f64)))
+                .collect();
+            let out = policy.process_batch(&batch, SimTime::ZERO);
+            correct += out.per_request.iter().filter(|o| o.correct).count();
+            total += out.per_request.len();
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(
+            accuracy >= 0.97,
+            "released accuracy {accuracy} should track the 1 % constraint"
+        );
+    }
+}

@@ -1,1 +1,31 @@
-//! placeholder
+//! End-to-end repro harness for the Apparate reproduction.
+//!
+//! This crate turns the workspace's library pieces into a runnable system:
+//!
+//! * [`controller`] — the live Apparate controller: `apparate-core`'s
+//!   threshold/adjust/monitor loop wired into the serving platform's
+//!   [`ExitPolicy`](apparate_serving::ExitPolicy) /
+//!   [`TokenPolicy`](apparate_serving::TokenPolicy) hooks.
+//! * [`scenario`] — CV, NLP and generative comparison scenarios: workload →
+//!   model → execution plan → serving simulation, with Apparate running
+//!   head-to-head against every baseline in `apparate-baselines` under
+//!   identical arrivals and semantics draws.
+//! * [`report`] — deterministic paper-style win tables.
+//!
+//! The `repro` binary (`cargo run --release -p apparate-experiments --bin
+//! repro`) runs all three scenarios and prints the comparison tables; the same
+//! seed always produces byte-identical output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod report;
+pub mod scenario;
+
+pub use controller::{ApparatePolicy, ApparateTokenPolicy, ControllerStats};
+pub use report::{ComparisonTable, PolicyRow};
+pub use scenario::{
+    cv_scenario, generative_scenario, nlp_scenario, run_classification, run_generative,
+    scenario_config, ClassificationScenario, GenerativeScenario, TraceKind, STATIC_THRESHOLD,
+};

@@ -1,0 +1,176 @@
+//! Paper-style comparison tables.
+//!
+//! The headline artefacts of the paper are tables/figures of *latency wins at
+//! unchanged throughput and bounded accuracy loss* (Figures 12–16, Table 2).
+//! This module renders one table per scenario: a row per policy with its
+//! latency percentiles, accuracy, throughput and exit rate, plus its p50/p95
+//! wins against vanilla serving. Rendering is fully deterministic — the same
+//! summaries always format to the same bytes — which is what the repro
+//! binary's same-seed ⇒ same-table guarantee rests on.
+
+use apparate_serving::{LatencySummary, LatencyWins};
+
+/// One policy's row: its summary and its wins against the vanilla row.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// The run summary.
+    pub summary: LatencySummary,
+    /// Wins against vanilla (zero for the vanilla row itself).
+    pub wins: LatencyWins,
+}
+
+/// A rendered comparison for one scenario.
+#[derive(Debug, Clone)]
+pub struct ComparisonTable {
+    /// Scenario identifier, e.g. `"cv/resnet50/urban-night"`.
+    pub scenario: String,
+    /// What the latency column measures (`"latency"` or `"tpt"`).
+    pub latency_label: String,
+    /// Policy rows, vanilla first.
+    pub rows: Vec<PolicyRow>,
+}
+
+impl ComparisonTable {
+    /// Build a table from summaries; the first summary must be the vanilla
+    /// baseline all wins are computed against.
+    pub fn new(
+        scenario: impl Into<String>,
+        latency_label: impl Into<String>,
+        summaries: Vec<LatencySummary>,
+    ) -> ComparisonTable {
+        assert!(
+            !summaries.is_empty(),
+            "at least the vanilla row is required"
+        );
+        let vanilla = summaries[0].clone();
+        let rows = summaries
+            .into_iter()
+            .map(|summary| PolicyRow {
+                wins: LatencyWins::of(&vanilla, &summary),
+                summary,
+            })
+            .collect();
+        ComparisonTable {
+            scenario: scenario.into(),
+            latency_label: latency_label.into(),
+            rows,
+        }
+    }
+
+    /// The row for a given policy name, if present.
+    pub fn row(&self, policy: &str) -> Option<&PolicyRow> {
+        self.rows.iter().find(|r| r.summary.policy == policy)
+    }
+
+    /// Render the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let title = format!("== {} ", self.scenario);
+        out.push_str(&title);
+        out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<14} {:>11} {:>11} {:>11} {:>7} {:>9} {:>6} {:>9} {:>9}\n",
+            "policy",
+            format!("p50 {}", unit(&self.latency_label)),
+            format!("p95 {}", unit(&self.latency_label)),
+            format!("mean {}", unit(&self.latency_label)),
+            "acc",
+            "thrpt",
+            "exit%",
+            "win@p50",
+            "win@p95",
+        ));
+        for row in &self.rows {
+            let s = &row.summary;
+            out.push_str(&format!(
+                "{:<14} {:>11.2} {:>11.2} {:>11.2} {:>7.3} {:>9.2} {:>6.1} {:>8.1}% {:>8.1}%\n",
+                s.policy,
+                s.latency_ms.p50,
+                s.latency_ms.p95,
+                s.latency_ms.mean,
+                s.accuracy,
+                s.throughput,
+                s.exit_rate * 100.0,
+                row.wins.p50,
+                row.wins.p95,
+            ));
+        }
+        out
+    }
+}
+
+fn unit(label: &str) -> &'static str {
+    match label {
+        "tpt" => "ms/tok",
+        _ => "ms",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apparate_sim::Percentiles;
+
+    fn summary(policy: &str, p50: f64) -> LatencySummary {
+        LatencySummary {
+            policy: policy.to_string(),
+            latency_ms: Percentiles {
+                p25: p50 * 0.8,
+                p50,
+                p75: p50 * 1.2,
+                p95: p50 * 1.5,
+                p99: p50 * 1.7,
+                mean: p50 * 1.05,
+                max: p50 * 2.0,
+                count: 100,
+            },
+            accuracy: 0.995,
+            throughput: 50.0,
+            mean_batch_size: 4.0,
+            slo_violation_rate: 0.0,
+            exit_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn wins_are_relative_to_first_row() {
+        let table = ComparisonTable::new(
+            "test",
+            "latency",
+            vec![summary("vanilla", 20.0), summary("fast", 10.0)],
+        );
+        assert!(table.row("vanilla").unwrap().wins.p50.abs() < 1e-9);
+        assert!((table.row("fast").unwrap().wins.p50 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_aligned() {
+        let build = || {
+            ComparisonTable::new(
+                "cv/resnet50",
+                "latency",
+                vec![summary("vanilla", 20.0), summary("apparate", 9.0)],
+            )
+            .render()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("apparate"));
+        // Header and data rows must all share one width, for both latency
+        // tables and tpt tables (whose "ms/tok" unit makes headers wider).
+        for label in ["latency", "tpt"] {
+            let rendered = ComparisonTable::new(
+                "scenario",
+                label,
+                vec![summary("vanilla", 20.0), summary("apparate", 9.0)],
+            )
+            .render();
+            let widths: Vec<usize> = rendered.lines().skip(1).map(|l| l.len()).collect();
+            assert!(
+                widths.windows(2).all(|w| w[0] == w[1]),
+                "columns align for {label}: {rendered}"
+            );
+        }
+    }
+}

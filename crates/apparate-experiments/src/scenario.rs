@@ -1,0 +1,402 @@
+//! Scenario wiring: workload generator → model zoo → execution plan → serving
+//! simulator → policies → comparison table.
+//!
+//! Each scenario pins one model from the zoo to one synthetic workload and one
+//! arrival process, then runs Apparate head-to-head against the full baseline
+//! family under identical arrivals, identical semantics draws (courtesy of the
+//! splittable RNG) and an identical serving platform. Everything is derived
+//! from a single experiment seed, so a scenario is reproducible end to end.
+
+use apparate_baselines::{
+    batch_time_fn, deploy_all_sites, deploy_budget_sites, offline_tuned_thresholds, vanilla_policy,
+    OracleExitPolicy, OracleTokenPolicy, StaticExitPolicy, StaticTokenPolicy,
+};
+use apparate_core::{ApparateConfig, GreedyParams, RampArchitecture};
+use apparate_exec::{SampleSemantics, SemanticsModel};
+use apparate_model::{zoo, LayerId, ZooModel};
+use apparate_serving::{
+    ArrivalTrace, ContinuousBatchingConfig, GenerativeSimulator, LatencySummary, Request,
+    ServingConfig, ServingSimulator, TokenSemantics, VanillaTokenPolicy,
+};
+use apparate_sim::{DeterministicRng, SimDuration};
+use apparate_workload::{
+    amazon_reviews, video_workload, AmazonConfig, GenerativeConfig, GenerativeTask,
+    GenerativeWorkload, VideoConfig, Workload,
+};
+
+use crate::controller::{ApparatePolicy, ApparateTokenPolicy};
+use crate::report::ComparisonTable;
+
+/// Fixed threshold used by the static baselines: conservative enough to hold
+/// accuracy on every scenario, which makes the latency comparison against the
+/// adaptive controller an equal-accuracy comparison.
+pub const STATIC_THRESHOLD: f64 = 0.2;
+
+/// Controller configuration used by the comparison scenarios: the paper's
+/// knobs and trigger windows, with larger tuning/adjustment windows (256/512
+/// instead of 64/128). The synthetic semantics model is noisier per ramp than
+/// trained ramps, and with the 1 % accuracy floor a 64-record window accepts
+/// zero-in-window-error threshold configurations that generalise poorly; the
+/// wider windows restore the intended safety margin without touching the two
+/// user-facing knobs.
+pub fn scenario_config() -> ApparateConfig {
+    ApparateConfig {
+        tuning_window: 512,
+        ramp_adjust_period: 512,
+        ..ApparateConfig::default()
+    }
+}
+
+/// How arrivals are generated for a classification scenario.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceKind {
+    /// Fixed-rate arrivals (video frames at a given fps).
+    FixedRate(f64),
+    /// MAF-like bursty arrivals with the given mean rate.
+    MafLike(f64),
+}
+
+/// A classification comparison scenario.
+pub struct ClassificationScenario {
+    /// Scenario identifier used in reports.
+    pub name: String,
+    /// The served model.
+    pub model: ZooModel,
+    /// The difficulty stream.
+    pub workload: Workload,
+    /// Arrival process for the serving split.
+    pub trace: TraceKind,
+    /// Platform configuration (batching + SLO).
+    pub serving: ServingConfig,
+    /// Reference batch size for savings accounting.
+    pub reference_batch: u32,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+/// A generative comparison scenario.
+pub struct GenerativeScenario {
+    /// Scenario identifier used in reports.
+    pub name: String,
+    /// The served model (decode pass).
+    pub model: ZooModel,
+    /// The token workload.
+    pub workload: GenerativeWorkload,
+    /// Mean Poisson arrival rate (requests per second).
+    pub arrival_rate: f64,
+    /// Continuous-batching configuration.
+    pub batching: ContinuousBatchingConfig,
+    /// Reference batch size for savings accounting.
+    pub reference_batch: u32,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+/// The paper's CV scenario: ResNet-50 over a night-time urban video stream
+/// (strong continuity, hard lighting, scene changes) at 60 fps aggregate.
+pub fn cv_scenario(seed: u64, frames: usize) -> ClassificationScenario {
+    let model = zoo::resnet(50);
+    let workload = video_workload(
+        "urban-night",
+        VideoConfig {
+            frames,
+            night: true,
+            ..VideoConfig::default()
+        },
+        DeterministicRng::new(seed).child(0xC0).seed(),
+    );
+    let slo_ms = model.descriptor.default_slo_ms;
+    ClassificationScenario {
+        name: format!("cv/resnet50/{}", workload.name),
+        model,
+        workload,
+        trace: TraceKind::FixedRate(30.0),
+        serving: ServingConfig::clockwork(slo_ms, 8),
+        reference_batch: 4,
+        seed,
+    }
+}
+
+/// The paper's NLP scenario: BERT-base sentiment over the Amazon-reviews
+/// stream (weak continuity, block structure) under bursty MAF-like arrivals.
+pub fn nlp_scenario(seed: u64, requests: usize) -> ClassificationScenario {
+    let model = zoo::bert_base();
+    let workload = amazon_reviews(
+        AmazonConfig {
+            requests,
+            ..AmazonConfig::default()
+        },
+        DeterministicRng::new(seed).child(0x41).seed(),
+    );
+    let slo_ms = model.descriptor.default_slo_ms;
+    ClassificationScenario {
+        name: format!("nlp/bert-base/{}", workload.name),
+        model,
+        workload,
+        trace: TraceKind::MafLike(12.0),
+        serving: ServingConfig::clockwork(slo_ms, 8),
+        reference_batch: 8,
+        seed,
+    }
+}
+
+/// The paper's generative scenario: Llama2-7B summarisation (CNN/DailyMail
+/// style) under continuous batching near GPU saturation. Llama2's lower
+/// overparameterisation (0.62 vs. T5's 0.85) makes token exits genuinely
+/// depth-dependent, so the scenario separates adaptive from static policies.
+pub fn generative_scenario(seed: u64, requests: usize) -> GenerativeScenario {
+    let model = zoo::llama2_7b();
+    let workload = GenerativeWorkload::generate(
+        GenerativeConfig::for_task(GenerativeTask::Summarization, requests),
+        DeterministicRng::new(seed).child(0x6E).seed(),
+    );
+    GenerativeScenario {
+        name: format!("generative/llama2-7b/{}", workload.task.dataset_name()),
+        model,
+        workload,
+        arrival_rate: 1.0,
+        batching: ContinuousBatchingConfig { max_batch_size: 16 },
+        reference_batch: 8,
+        seed,
+    }
+}
+
+/// Run the full policy family on a classification scenario.
+pub fn run_classification(scenario: &ClassificationScenario) -> ComparisonTable {
+    let config = scenario_config();
+    let semantics = SemanticsModel::new(
+        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
+        scenario.model.descriptor.overparameterization,
+    );
+    let split = scenario.workload.bootstrap_split();
+    let serving_samples = split.serving;
+    let n = serving_samples.len();
+    let trace = match scenario.trace {
+        TraceKind::FixedRate(hz) => ArrivalTrace::fixed_rate(n, hz),
+        TraceKind::MafLike(hz) => ArrivalTrace::maf_like(
+            n,
+            hz,
+            DeterministicRng::new(scenario.seed).child(0x7A).seed(),
+        ),
+    };
+    let sim = ServingSimulator::new(scenario.serving.clone());
+
+    let dep_budget = deploy_budget_sites(
+        &scenario.model,
+        &semantics,
+        &config,
+        RampArchitecture::Lightweight,
+        split.train.len(),
+    );
+    let dep_all = deploy_all_sites(
+        &scenario.model,
+        &semantics,
+        RampArchitecture::Lightweight,
+        split.train.len(),
+    );
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    let budget_plan = dep_budget.plan.clone();
+    let all_plan = dep_all.plan.clone();
+
+    let mut summaries = Vec::new();
+
+    {
+        let mut policy = vanilla_policy(&vanilla_plan);
+        let estimate = batch_time_fn(&vanilla_plan);
+        let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
+        summaries.push(LatencySummary::from_outcome("vanilla", &out));
+    }
+    {
+        let mut policy =
+            StaticExitPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee");
+        let estimate = batch_time_fn(&budget_plan);
+        let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
+        summaries.push(LatencySummary::from_outcome("static-ee", &out));
+    }
+    {
+        let mut policy =
+            StaticExitPolicy::uniform(all_plan.clone(), STATIC_THRESHOLD, "uniform-ee");
+        let estimate = batch_time_fn(&all_plan);
+        let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
+        summaries.push(LatencySummary::from_outcome("uniform-ee", &out));
+    }
+    {
+        let tuned = offline_tuned_thresholds(
+            &budget_plan,
+            split.validation,
+            GreedyParams {
+                accuracy_loss_budget: config.accuracy_constraint,
+                initial_step: config.initial_step,
+                smallest_step: config.smallest_step,
+                max_threshold: 1.0,
+            },
+            scenario.reference_batch,
+        );
+        let mut policy =
+            StaticExitPolicy::new(budget_plan.clone(), tuned.thresholds, "oneshot-tuned");
+        let estimate = batch_time_fn(&budget_plan);
+        let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
+        summaries.push(LatencySummary::from_outcome("oneshot-tuned", &out));
+    }
+    {
+        let mut policy = ApparatePolicy::warm_started(
+            dep_budget.clone(),
+            config,
+            scenario.reference_batch,
+            split.validation,
+        );
+        // Apparate's ramp set changes at runtime, so a plan-pinned estimator
+        // would go stale after the first adjustment. The platform instead
+        // relies on the one contract the controller never violates: total
+        // ramp overhead stays within the user's ramp budget.
+        let estimate = |b: u32| {
+            SimDuration::from_micros_f64(
+                vanilla_plan.vanilla_total_us(b) * (1.0 + config.ramp_budget),
+            )
+        };
+        let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
+        summaries.push(LatencySummary::from_outcome("apparate", &out));
+    }
+    {
+        let sites: Vec<LayerId> = dep_budget.all_sites.iter().map(|s| s.site).collect();
+        let mut policy =
+            OracleExitPolicy::new(vanilla_plan.clone(), sites, dep_budget.capacity, "oracle");
+        let estimate = batch_time_fn(&vanilla_plan);
+        let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
+        summaries.push(LatencySummary::from_outcome("oracle", &out));
+    }
+
+    ComparisonTable::new(scenario.name.clone(), "latency", summaries)
+}
+
+/// Adapter exposing a [`GenerativeWorkload`]'s deterministic token semantics
+/// to the continuous-batching simulator.
+struct WorkloadTokens<'a>(&'a GenerativeWorkload);
+
+impl TokenSemantics for WorkloadTokens<'_> {
+    fn token(&self, request_id: u64, token_index: u32) -> SampleSemantics {
+        self.0.token_semantics(request_id, token_index)
+    }
+}
+
+/// Run the full policy family on a generative scenario.
+pub fn run_generative(scenario: &GenerativeScenario) -> ComparisonTable {
+    let config = scenario_config();
+    let semantics = SemanticsModel::new(
+        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
+        scenario.model.descriptor.overparameterization,
+    );
+    let trace = ArrivalTrace::poisson(
+        scenario.workload.len(),
+        scenario.arrival_rate,
+        DeterministicRng::new(scenario.seed).child(0x7B).seed(),
+    );
+    let requests: Vec<Request> = trace
+        .times()
+        .iter()
+        .zip(scenario.workload.sequences())
+        .map(|(&at, spec)| {
+            Request::generative(
+                spec.request_id,
+                at,
+                scenario.workload.token_semantics(spec.request_id, 0),
+                spec.output_tokens,
+            )
+        })
+        .collect();
+    let tokens = WorkloadTokens(&scenario.workload);
+    let sim = GenerativeSimulator::new(scenario.batching);
+
+    // Generative ramps reuse the decoder head, so no bootstrap training data
+    // is needed (§3.1).
+    let dep_budget = deploy_budget_sites(
+        &scenario.model,
+        &semantics,
+        &config,
+        RampArchitecture::Lightweight,
+        0,
+    );
+    let dep_all = deploy_all_sites(
+        &scenario.model,
+        &semantics,
+        RampArchitecture::Lightweight,
+        0,
+    );
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    let budget_plan = dep_budget.plan.clone();
+    let all_plan = dep_all.plan.clone();
+
+    // Offline calibration tokens for the oneshot baseline: the first 10 % of
+    // sequences, fully decoded in hindsight.
+    let calibration: Vec<SampleSemantics> = {
+        let boot = (scenario.workload.len() / 10).max(1);
+        scenario
+            .workload
+            .sequences()
+            .iter()
+            .take(boot)
+            .flat_map(|spec| {
+                (0..spec.output_tokens)
+                    .map(|t| scenario.workload.token_semantics(spec.request_id, t))
+            })
+            .collect()
+    };
+
+    let mut summaries = Vec::new();
+
+    {
+        let mut policy = VanillaTokenPolicy::new(|b| {
+            SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(b))
+        });
+        let out = sim.run(&requests, &tokens, &mut policy);
+        summaries.push(LatencySummary::from_generative("vanilla", &out));
+    }
+    {
+        let mut policy =
+            StaticTokenPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee");
+        let out = sim.run(&requests, &tokens, &mut policy);
+        summaries.push(LatencySummary::from_generative("static-ee", &out));
+    }
+    {
+        let mut policy =
+            StaticTokenPolicy::uniform(all_plan.clone(), STATIC_THRESHOLD, "uniform-ee");
+        let out = sim.run(&requests, &tokens, &mut policy);
+        summaries.push(LatencySummary::from_generative("uniform-ee", &out));
+    }
+    {
+        let tuned = offline_tuned_thresholds(
+            &budget_plan,
+            &calibration,
+            GreedyParams {
+                accuracy_loss_budget: config.accuracy_constraint,
+                initial_step: config.initial_step,
+                smallest_step: config.smallest_step,
+                max_threshold: 1.0,
+            },
+            scenario.reference_batch,
+        );
+        let mut policy =
+            StaticTokenPolicy::new(budget_plan.clone(), tuned.thresholds, "oneshot-tuned");
+        let out = sim.run(&requests, &tokens, &mut policy);
+        summaries.push(LatencySummary::from_generative("oneshot-tuned", &out));
+    }
+    {
+        let mut policy = ApparateTokenPolicy::warm_started(
+            dep_budget.clone(),
+            config,
+            scenario.reference_batch,
+            &calibration,
+        );
+        let out = sim.run(&requests, &tokens, &mut policy);
+        summaries.push(LatencySummary::from_generative("apparate", &out));
+    }
+    {
+        let sites: Vec<LayerId> = dep_budget.all_sites.iter().map(|s| s.site).collect();
+        let mut policy =
+            OracleTokenPolicy::new(vanilla_plan.clone(), sites, dep_budget.capacity, "oracle");
+        let out = sim.run(&requests, &tokens, &mut policy);
+        summaries.push(LatencySummary::from_generative("oracle", &out));
+    }
+
+    ComparisonTable::new(scenario.name.clone(), "tpt", summaries)
+}

@@ -1,0 +1,105 @@
+//! End-to-end acceptance tests for the comparison subsystem: the claims the
+//! repro harness makes must hold on fixed seeds.
+
+use apparate_experiments::{
+    cv_scenario, generative_scenario, run_classification, run_generative, ComparisonTable,
+};
+
+/// Quick but non-trivial CV scenario: 2 500 frames → 2 250 served requests
+/// after the bootstrap split.
+fn cv_table() -> ComparisonTable {
+    run_classification(&cv_scenario(42, 2_500))
+}
+
+#[test]
+fn apparate_beats_static_threshold_on_cv_median_latency_at_equal_accuracy() {
+    let table = cv_table();
+    let apparate = table.row("apparate").expect("apparate row");
+    let static_ee = table.row("static-ee").expect("static-ee row");
+    // Equal accuracy: both policies hold (close to) the original model's
+    // accuracy — within a couple of points of the 1 % constraint.
+    assert!(
+        apparate.summary.accuracy >= 0.97,
+        "apparate accuracy {} violates the constraint",
+        apparate.summary.accuracy
+    );
+    assert!(
+        static_ee.summary.accuracy >= 0.97,
+        "static-ee accuracy {} violates the constraint",
+        static_ee.summary.accuracy
+    );
+    // The adaptive controller must beat the fixed-threshold deployment on
+    // median latency.
+    assert!(
+        apparate.summary.latency_ms.p50 < static_ee.summary.latency_ms.p50,
+        "apparate p50 {} should beat static-ee p50 {}",
+        apparate.summary.latency_ms.p50,
+        static_ee.summary.latency_ms.p50
+    );
+    // And both must win against vanilla at the median.
+    assert!(apparate.wins.p50 > 0.0);
+    assert!(static_ee.wins.p50 > 0.0);
+}
+
+#[test]
+fn oracle_lower_bounds_every_policy_on_cv() {
+    let table = cv_table();
+    let oracle = table.row("oracle").expect("oracle row");
+    assert!(
+        (oracle.summary.accuracy - 1.0).abs() < 1e-12,
+        "the hindsight oracle never releases a wrong result"
+    );
+    for row in &table.rows {
+        assert!(
+            oracle.summary.latency_ms.p50 <= row.summary.latency_ms.p50 + 1e-9,
+            "oracle p50 {} must lower-bound {} ({})",
+            oracle.summary.latency_ms.p50,
+            row.summary.latency_ms.p50,
+            row.summary.policy
+        );
+        assert!(
+            oracle.summary.latency_ms.mean <= row.summary.latency_ms.mean + 1e-9,
+            "oracle mean must lower-bound {} ({})",
+            row.summary.latency_ms.mean,
+            row.summary.policy
+        );
+    }
+}
+
+#[test]
+fn cv_tables_are_deterministic_per_seed() {
+    let a = cv_table().render();
+    let b = cv_table().render();
+    assert_eq!(a, b, "same seed must render byte-identical tables");
+    let other = run_classification(&cv_scenario(7, 2_500)).render();
+    assert_ne!(a, other, "a different seed should change the numbers");
+}
+
+#[test]
+fn generative_comparison_holds_and_is_deterministic() {
+    let build = || run_generative(&generative_scenario(42, 40));
+    let table = build();
+    assert_eq!(table.rows.len(), 6, "six policies are compared");
+    let apparate = table.row("apparate").expect("apparate row");
+    let static_ee = table.row("static-ee").expect("static-ee row");
+    let oracle = table.row("oracle").expect("oracle row");
+    assert!(
+        apparate.summary.accuracy >= 0.97,
+        "token accuracy {} violates the constraint",
+        apparate.summary.accuracy
+    );
+    assert!(
+        apparate.summary.latency_ms.p50 < static_ee.summary.latency_ms.p50,
+        "adaptive token exits ({}) should beat the static ramp ({}) on median TPT",
+        apparate.summary.latency_ms.p50,
+        static_ee.summary.latency_ms.p50
+    );
+    for row in &table.rows {
+        assert!(
+            oracle.summary.latency_ms.p50 <= row.summary.latency_ms.p50 + 1e-9,
+            "token oracle must lower-bound {} on median TPT",
+            row.summary.policy
+        );
+    }
+    assert_eq!(table.render(), build().render(), "deterministic per seed");
+}

@@ -32,7 +32,11 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::DanglingEdge { edge } => {
-                write!(f, "edge {} -> {} references a missing layer", edge.0, edge.1)
+                write!(
+                    f,
+                    "edge {} -> {} references a missing layer",
+                    edge.0, edge.1
+                )
             }
             GraphError::Cyclic => write!(f, "model graph contains a cycle"),
             GraphError::Empty => write!(f, "model graph has no layers"),
@@ -56,7 +60,10 @@ pub struct ModelGraph {
 
 impl ModelGraph {
     /// Build and validate a graph from layers and directed edges.
-    pub fn new(layers: Vec<Layer>, edges: Vec<(LayerId, LayerId)>) -> Result<ModelGraph, GraphError> {
+    pub fn new(
+        layers: Vec<Layer>,
+        edges: Vec<(LayerId, LayerId)>,
+    ) -> Result<ModelGraph, GraphError> {
         if layers.is_empty() {
             return Err(GraphError::Empty);
         }
@@ -193,7 +200,8 @@ impl ModelGraph {
         self.cut_vertex_mask()
             .iter()
             .enumerate()
-            .filter_map(|(pos, &is_cut)| is_cut.then(|| self.topo[pos]))
+            .filter(|&(_pos, &is_cut)| is_cut)
+            .map(|(pos, &_is_cut)| self.topo[pos])
             .collect()
     }
 
@@ -239,7 +247,11 @@ impl ModelGraph {
 
     /// Number of distinct architectural blocks.
     pub fn num_blocks(&self) -> u32 {
-        self.layers.iter().map(|l| l.block).max().map_or(0, |b| b + 1)
+        self.layers
+            .iter()
+            .map(|l| l.block)
+            .max()
+            .map_or(0, |b| b + 1)
     }
 }
 
@@ -296,7 +308,10 @@ mod tests {
             .map(|i| Layer::new(i, format!("l{i}"), LayerKind::Conv, 1, 4, 0))
             .collect();
         let edges = vec![(LayerId(0), LayerId(1)), (LayerId(1), LayerId(0))];
-        assert_eq!(ModelGraph::new(layers, edges).unwrap_err(), GraphError::Cyclic);
+        assert_eq!(
+            ModelGraph::new(layers, edges).unwrap_err(),
+            GraphError::Cyclic
+        );
     }
 
     #[test]

@@ -245,7 +245,13 @@ mod tests {
     #[test]
     fn synthesized_total_matches_target() {
         let g = toy_graph(10);
-        let lat = synthesize_latency(&g, 16_400.0, ComputeShape::FrontLoaded { skew: 4.0 }, 0.3, 0.75);
+        let lat = synthesize_latency(
+            &g,
+            16_400.0,
+            ComputeShape::FrontLoaded { skew: 4.0 },
+            0.3,
+            0.75,
+        );
         assert!((lat.total_us(1) - 16_400.0).abs() < 1e-6);
         assert_eq!(lat.len(), 10);
     }
@@ -253,7 +259,13 @@ mod tests {
     #[test]
     fn front_loaded_prefix_grows_fast() {
         let g = toy_graph(20);
-        let front = synthesize_latency(&g, 10_000.0, ComputeShape::FrontLoaded { skew: 6.0 }, 0.3, 0.75);
+        let front = synthesize_latency(
+            &g,
+            10_000.0,
+            ComputeShape::FrontLoaded { skew: 6.0 },
+            0.3,
+            0.75,
+        );
         let uniform = synthesize_latency(&g, 10_000.0, ComputeShape::Uniform, 0.3, 0.75);
         let mid = 9; // halfway point
         assert!(

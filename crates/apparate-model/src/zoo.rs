@@ -132,10 +132,38 @@ pub fn resnet(depth: u32) -> ZooModel {
     };
     let mut b = GraphBuilder::new();
     let mut block_idx = 0u32;
-    b.push("stem.conv", LayerKind::Conv, 9_408, 64, block_idx, Stage::Main);
-    b.push("stem.norm", LayerKind::Norm, 128, 64, block_idx, Stage::Main);
-    b.push("stem.relu", LayerKind::Activation, 0, 64, block_idx, Stage::Main);
-    b.push("stem.pool", LayerKind::Pooling, 0, 64, block_idx, Stage::Main);
+    b.push(
+        "stem.conv",
+        LayerKind::Conv,
+        9_408,
+        64,
+        block_idx,
+        Stage::Main,
+    );
+    b.push(
+        "stem.norm",
+        LayerKind::Norm,
+        128,
+        64,
+        block_idx,
+        Stage::Main,
+    );
+    b.push(
+        "stem.relu",
+        LayerKind::Activation,
+        0,
+        64,
+        block_idx,
+        Stage::Main,
+    );
+    b.push(
+        "stem.pool",
+        LayerKind::Pooling,
+        0,
+        64,
+        block_idx,
+        Stage::Main,
+    );
     let mut width = 64u32;
     for (stage_idx, &count) in stages.iter().enumerate() {
         width = 64 << stage_idx.min(3);
@@ -195,7 +223,14 @@ pub fn resnet(depth: u32) -> ZooModel {
         }
     }
     block_idx += 1;
-    b.push("head.pool", LayerKind::Pooling, 0, width, block_idx, Stage::Main);
+    b.push(
+        "head.pool",
+        LayerKind::Pooling,
+        0,
+        width,
+        block_idx,
+        Stage::Main,
+    );
     b.push(
         "head.fc",
         LayerKind::FullyConnected,
@@ -204,7 +239,14 @@ pub fn resnet(depth: u32) -> ZooModel {
         block_idx,
         Stage::Main,
     );
-    b.push("head.softmax", LayerKind::Softmax, 0, 1000, block_idx, Stage::Main);
+    b.push(
+        "head.softmax",
+        LayerKind::Softmax,
+        0,
+        1000,
+        block_idx,
+        Stage::Main,
+    );
     let graph = b.build();
     let num_blocks: u32 = stages.iter().map(|&c| c as u32).sum();
     let descriptor = ModelDescriptor {
@@ -220,7 +262,13 @@ pub fn resnet(depth: u32) -> ZooModel {
         quantized: false,
         bytes_per_param: 4,
     };
-    finish(graph, descriptor, ComputeShape::FrontLoaded { skew: 6.0 }, 0.25, 0.72)
+    finish(
+        graph,
+        descriptor,
+        ComputeShape::FrontLoaded { skew: 6.0 },
+        0.25,
+        0.72,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -279,12 +327,54 @@ pub fn vgg(depth: u32) -> ZooModel {
         );
         block += 1;
     }
-    b.push("head.fc1", LayerKind::FullyConnected, 102_764_544, 4096, block, Stage::Main);
-    b.push("head.relu1", LayerKind::Activation, 0, 4096, block, Stage::Main);
-    b.push("head.fc2", LayerKind::FullyConnected, 16_781_312, 4096, block, Stage::Main);
-    b.push("head.relu2", LayerKind::Activation, 0, 4096, block, Stage::Main);
-    b.push("head.fc3", LayerKind::FullyConnected, 4_097_000, 1000, block, Stage::Main);
-    b.push("head.softmax", LayerKind::Softmax, 0, 1000, block, Stage::Main);
+    b.push(
+        "head.fc1",
+        LayerKind::FullyConnected,
+        102_764_544,
+        4096,
+        block,
+        Stage::Main,
+    );
+    b.push(
+        "head.relu1",
+        LayerKind::Activation,
+        0,
+        4096,
+        block,
+        Stage::Main,
+    );
+    b.push(
+        "head.fc2",
+        LayerKind::FullyConnected,
+        16_781_312,
+        4096,
+        block,
+        Stage::Main,
+    );
+    b.push(
+        "head.relu2",
+        LayerKind::Activation,
+        0,
+        4096,
+        block,
+        Stage::Main,
+    );
+    b.push(
+        "head.fc3",
+        LayerKind::FullyConnected,
+        4_097_000,
+        1000,
+        block,
+        Stage::Main,
+    );
+    b.push(
+        "head.softmax",
+        LayerKind::Softmax,
+        0,
+        1000,
+        block,
+        Stage::Main,
+    );
     let graph = b.build();
     let descriptor = ModelDescriptor {
         name: format!("vgg{depth}"),
@@ -300,7 +390,13 @@ pub fn vgg(depth: u32) -> ZooModel {
         quantized: false,
         bytes_per_param: 4,
     };
-    finish(graph, descriptor, ComputeShape::FrontLoaded { skew: 5.0 }, 0.25, 0.72)
+    finish(
+        graph,
+        descriptor,
+        ComputeShape::FrontLoaded { skew: 5.0 },
+        0.25,
+        0.72,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -320,10 +416,31 @@ fn push_transformer_block(
     let attn_params = 4 * (hidden as u64) * (hidden as u64);
     let ffn_params = 8 * (hidden as u64) * (hidden as u64);
     let block_input = b.last.expect("embedding exists before blocks");
-    b.push(format!("{prefix}.attn"), LayerKind::Attention, attn_params, hidden, block, stage);
-    let add1 = b.push(format!("{prefix}.attn_add"), LayerKind::Add, 0, hidden, block, stage);
+    b.push(
+        format!("{prefix}.attn"),
+        LayerKind::Attention,
+        attn_params,
+        hidden,
+        block,
+        stage,
+    );
+    let add1 = b.push(
+        format!("{prefix}.attn_add"),
+        LayerKind::Add,
+        0,
+        hidden,
+        block,
+        stage,
+    );
     b.connect(block_input, add1);
-    b.push(format!("{prefix}.attn_norm"), LayerKind::Norm, hidden as u64 * 2, hidden, block, stage);
+    b.push(
+        format!("{prefix}.attn_norm"),
+        LayerKind::Norm,
+        hidden as u64 * 2,
+        hidden,
+        block,
+        stage,
+    );
     let mut residual_src = b.last.expect("norm exists");
     if with_cross_attention {
         b.push(
@@ -334,7 +451,14 @@ fn push_transformer_block(
             block,
             stage,
         );
-        let addc = b.push(format!("{prefix}.cross_add"), LayerKind::Add, 0, hidden, block, stage);
+        let addc = b.push(
+            format!("{prefix}.cross_add"),
+            LayerKind::Add,
+            0,
+            hidden,
+            block,
+            stage,
+        );
         b.connect(residual_src, addc);
         b.push(
             format!("{prefix}.cross_norm"),
@@ -346,10 +470,31 @@ fn push_transformer_block(
         );
         residual_src = b.last.expect("cross norm exists");
     }
-    b.push(format!("{prefix}.ffn"), LayerKind::FeedForward, ffn_params, hidden, block, stage);
-    let add2 = b.push(format!("{prefix}.ffn_add"), LayerKind::Add, 0, hidden, block, stage);
+    b.push(
+        format!("{prefix}.ffn"),
+        LayerKind::FeedForward,
+        ffn_params,
+        hidden,
+        block,
+        stage,
+    );
+    let add2 = b.push(
+        format!("{prefix}.ffn_add"),
+        LayerKind::Add,
+        0,
+        hidden,
+        block,
+        stage,
+    );
     b.connect(residual_src, add2);
-    b.push(format!("{prefix}.ffn_norm"), LayerKind::Norm, hidden as u64 * 2, hidden, block, stage);
+    b.push(
+        format!("{prefix}.ffn_norm"),
+        LayerKind::Norm,
+        hidden as u64 * 2,
+        hidden,
+        block,
+        stage,
+    );
 }
 
 /// Specification of a BERT-family classification model.
@@ -364,7 +509,14 @@ struct EncoderSpec {
 
 fn build_encoder_classifier(spec: EncoderSpec, quantized: bool) -> ZooModel {
     let mut b = GraphBuilder::new();
-    b.push("embeddings", LayerKind::Embedding, 23_000_000, spec.hidden, 0, Stage::Main);
+    b.push(
+        "embeddings",
+        LayerKind::Embedding,
+        23_000_000,
+        spec.hidden,
+        0,
+        Stage::Main,
+    );
     for blk in 0..spec.blocks {
         push_transformer_block(
             &mut b,
@@ -500,12 +652,33 @@ pub fn gpt2_medium() -> ZooModel {
     let hidden = 1024u32;
     let blocks = 24u32;
     let mut b = GraphBuilder::new();
-    b.push("embeddings", LayerKind::Embedding, 51_000_000, hidden, 0, Stage::Main);
+    b.push(
+        "embeddings",
+        LayerKind::Embedding,
+        51_000_000,
+        hidden,
+        0,
+        Stage::Main,
+    );
     for blk in 0..blocks {
-        push_transformer_block(&mut b, &format!("decoder{blk}"), hidden, blk + 1, Stage::Main, false);
+        push_transformer_block(
+            &mut b,
+            &format!("decoder{blk}"),
+            hidden,
+            blk + 1,
+            Stage::Main,
+            false,
+        );
     }
     let head_block = blocks + 1;
-    b.push("final_norm", LayerKind::Norm, hidden as u64 * 2, hidden, head_block, Stage::Main);
+    b.push(
+        "final_norm",
+        LayerKind::Norm,
+        hidden as u64 * 2,
+        hidden,
+        head_block,
+        Stage::Main,
+    );
     b.push(
         "classifier",
         LayerKind::FullyConnected,
@@ -555,7 +728,14 @@ struct DecoderSpec {
 /// ramps are only ever injected into decoding (§3.1).
 fn build_decoder(spec: DecoderSpec) -> ZooModel {
     let mut b = GraphBuilder::new();
-    b.push("embeddings", LayerKind::Embedding, 32_000 * spec.hidden as u64, spec.hidden, 0, Stage::Decoder);
+    b.push(
+        "embeddings",
+        LayerKind::Embedding,
+        32_000 * spec.hidden as u64,
+        spec.hidden,
+        0,
+        Stage::Decoder,
+    );
     for blk in 0..spec.blocks {
         push_transformer_block(
             &mut b,
@@ -666,7 +846,14 @@ pub fn classification_models() -> Vec<ZooModel> {
 
 /// The CV subset of the corpus.
 pub fn cv_models() -> Vec<ZooModel> {
-    vec![resnet(18), resnet(50), resnet(101), vgg(11), vgg(13), vgg(16)]
+    vec![
+        resnet(18),
+        resnet(50),
+        resnet(101),
+        vgg(11),
+        vgg(13),
+        vgg(16),
+    ]
 }
 
 /// The NLP classification subset of the corpus.

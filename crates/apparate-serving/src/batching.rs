@@ -156,7 +156,10 @@ mod tests {
             },
             BatchingPolicy::Clockwork { max_batch_size: 8 },
         ] {
-            assert_eq!(policy.decide(&[], SimTime::ZERO, &linear_exec(1)), BatchDecision::Idle);
+            assert_eq!(
+                policy.decide(&[], SimTime::ZERO, &linear_exec(1)),
+                BatchDecision::Idle
+            );
         }
     }
 

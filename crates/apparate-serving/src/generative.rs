@@ -332,7 +332,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &at)| {
-                Request::generative(i as u64, at, SampleSemantics::new(i as u64, 0.4), tokens_each)
+                Request::generative(
+                    i as u64,
+                    at,
+                    SampleSemantics::new(i as u64, 0.4),
+                    tokens_each,
+                )
             })
             .collect()
     }
@@ -374,7 +379,11 @@ mod tests {
         let sim = GenerativeSimulator::new(ContinuousBatchingConfig { max_batch_size: 8 });
         let mut policy = VanillaTokenPolicy::new(decode_time);
         let out = sim.run(&requests, &UniformTokens, &mut policy);
-        assert!(out.mean_batch_size() > 7.0, "mean batch {}", out.mean_batch_size());
+        assert!(
+            out.mean_batch_size() > 7.0,
+            "mean batch {}",
+            out.mean_batch_size()
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl LatencySummary {
     }
 
     /// Summarise a generative outcome (latencies are per-token).
-    pub fn from_generative(policy: impl Into<String>, outcome: &GenerativeOutcome) -> LatencySummary {
+    pub fn from_generative(
+        policy: impl Into<String>,
+        outcome: &GenerativeOutcome,
+    ) -> LatencySummary {
         LatencySummary {
             policy: policy.into(),
             latency_ms: Percentiles::from_samples(&outcome.tpt_ms()),
@@ -109,8 +112,7 @@ mod tests {
 
     fn run_once() -> ServingOutcome {
         let trace = ArrivalTrace::fixed_rate(50, 20.0);
-        let samples: Vec<SampleSemantics> =
-            (0..50).map(|i| SampleSemantics::new(i, 0.5)).collect();
+        let samples: Vec<SampleSemantics> = (0..50).map(|i| SampleSemantics::new(i, 0.5)).collect();
         let sim = ServingSimulator::new(ServingConfig {
             policy: BatchingPolicy::Immediate,
             slo: None,
@@ -149,6 +151,8 @@ mod tests {
         let outcome = run_once();
         let cdf = latency_cdf(&outcome);
         let points = cdf.points();
-        assert!(points.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
     }
 }

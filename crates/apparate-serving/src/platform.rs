@@ -143,7 +143,10 @@ pub struct ServingOutcome {
 impl ServingOutcome {
     /// Response latencies (release − arrival) in milliseconds.
     pub fn latencies_ms(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.latency().as_millis_f64()).collect()
+        self.records
+            .iter()
+            .map(|r| r.latency().as_millis_f64())
+            .collect()
     }
 
     /// Mean batch size across launched batches.
@@ -184,7 +187,10 @@ impl ServingOutcome {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.exit_ramp.is_some()).count() as f64
+        self.records
+            .iter()
+            .filter(|r| r.exit_ramp.is_some())
+            .count() as f64
             / self.records.len() as f64
     }
 }
@@ -274,10 +280,7 @@ impl ServingSimulator {
                     for (req, out) in batch.iter().zip(outcome.per_request.iter()) {
                         let released = now + out.release_offset;
                         let completed = now + out.completion_offset;
-                        let slo_violated = req
-                            .deadline()
-                            .map(|d| released > d)
-                            .unwrap_or(false);
+                        let slo_violated = req.deadline().map(|d| released > d).unwrap_or(false);
                         records.push(RequestRecord {
                             id: req.id,
                             arrival: req.arrival,
@@ -315,7 +318,9 @@ mod tests {
     use apparate_sim::Percentiles;
 
     fn samples(n: usize) -> Vec<SampleSemantics> {
-        (0..n).map(|i| SampleSemantics::new(i as u64, 0.5)).collect()
+        (0..n)
+            .map(|i| SampleSemantics::new(i as u64, 0.5))
+            .collect()
     }
 
     /// Execution time model: 10 ms fixed + 2 ms per item.

@@ -22,7 +22,12 @@ pub struct Request {
 
 impl Request {
     /// A classification request.
-    pub fn classification(id: u64, arrival: SimTime, semantics: SampleSemantics, slo: Option<SimDuration>) -> Request {
+    pub fn classification(
+        id: u64,
+        arrival: SimTime,
+        semantics: SampleSemantics,
+        slo: Option<SimDuration>,
+    ) -> Request {
         Request {
             id,
             arrival,
@@ -33,7 +38,12 @@ impl Request {
     }
 
     /// A generative request producing `output_tokens` tokens.
-    pub fn generative(id: u64, arrival: SimTime, semantics: SampleSemantics, output_tokens: u32) -> Request {
+    pub fn generative(
+        id: u64,
+        arrival: SimTime,
+        semantics: SampleSemantics,
+        output_tokens: u32,
+    ) -> Request {
         Request {
             id,
             arrival,
@@ -118,7 +128,12 @@ mod tests {
     #[test]
     fn deadline_only_with_slo() {
         let sem = SampleSemantics::new(0, 0.5);
-        let r = Request::classification(0, SimTime::from_millis(5), sem, Some(SimDuration::from_millis(30)));
+        let r = Request::classification(
+            0,
+            SimTime::from_millis(5),
+            sem,
+            Some(SimDuration::from_millis(30)),
+        );
         assert_eq!(r.deadline(), Some(SimTime::from_millis(35)));
         let r2 = Request::generative(1, SimTime::ZERO, sem, 64);
         assert_eq!(r2.deadline(), None);

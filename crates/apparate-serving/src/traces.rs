@@ -145,7 +145,11 @@ mod tests {
     #[test]
     fn poisson_mean_rate_is_close() {
         let t = ArrivalTrace::poisson(5000, 100.0, 7);
-        assert!((t.mean_rate() - 100.0).abs() < 10.0, "rate {}", t.mean_rate());
+        assert!(
+            (t.mean_rate() - 100.0).abs() < 10.0,
+            "rate {}",
+            t.mean_rate()
+        );
         // Times must be sorted (non-decreasing).
         assert!(t.times().windows(2).all(|w| w[0] <= w[1]));
     }
@@ -175,7 +179,12 @@ mod tests {
             let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
             var.sqrt() / mean
         };
-        assert!(cv(&maf) > cv(&poisson), "maf cv {} poisson cv {}", cv(&maf), cv(&poisson));
+        assert!(
+            cv(&maf) > cv(&poisson),
+            "maf cv {} poisson cv {}",
+            cv(&maf),
+            cv(&poisson)
+        );
     }
 
     #[test]

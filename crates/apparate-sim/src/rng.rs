@@ -180,7 +180,9 @@ mod tests {
         let root = DeterministicRng::new(42);
         let mut a = root.stream(&[1]);
         let mut b = root.stream(&[2]);
-        let same = (0..16).filter(|_| a.unit().to_bits() == b.unit().to_bits()).count();
+        let same = (0..16)
+            .filter(|_| a.unit().to_bits() == b.unit().to_bits())
+            .count();
         assert!(same < 4, "streams with different keys should diverge");
     }
 

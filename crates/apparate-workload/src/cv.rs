@@ -75,7 +75,10 @@ pub fn video_workload(name: impl Into<String>, config: VideoConfig, seed: u64) -
         let innovation = stream.normal_with(0.0, config.innovation_std);
         difficulty = scene_mean + config.continuity * (difficulty - scene_mean) + innovation;
         difficulty = difficulty.clamp(0.0, 1.0);
-        samples.push(SampleSemantics::new(seed.wrapping_mul(1_000_003) + i as u64, difficulty));
+        samples.push(SampleSemantics::new(
+            seed.wrapping_mul(1_000_003) + i as u64,
+            difficulty,
+        ));
     }
     Workload::new(name, Domain::Cv, samples)
 }
@@ -118,20 +121,44 @@ mod tests {
 
     #[test]
     fn video_has_requested_length_and_domain() {
-        let w = video_workload("v", VideoConfig { frames: 5_000, ..Default::default() }, 1);
+        let w = video_workload(
+            "v",
+            VideoConfig {
+                frames: 5_000,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(w.len(), 5_000);
         assert_eq!(w.domain, Domain::Cv);
     }
 
     #[test]
     fn difficulties_stay_in_unit_interval() {
-        let w = video_workload("v", VideoConfig { frames: 10_000, ..Default::default() }, 2);
-        assert!(w.samples().iter().all(|s| (0.0..=1.0).contains(&s.difficulty)));
+        let w = video_workload(
+            "v",
+            VideoConfig {
+                frames: 10_000,
+                ..Default::default()
+            },
+            2,
+        );
+        assert!(w
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.difficulty)));
     }
 
     #[test]
     fn video_difficulty_is_highly_autocorrelated() {
-        let w = video_workload("v", VideoConfig { frames: 10_000, ..Default::default() }, 3);
+        let w = video_workload(
+            "v",
+            VideoConfig {
+                frames: 10_000,
+                ..Default::default()
+            },
+            3,
+        );
         assert!(
             w.difficulty_autocorrelation() > 0.8,
             "autocorrelation {}",
@@ -143,12 +170,20 @@ mod tests {
     fn night_videos_are_harder_than_day() {
         let day = video_workload(
             "day",
-            VideoConfig { frames: 15_000, night: false, ..Default::default() },
+            VideoConfig {
+                frames: 15_000,
+                night: false,
+                ..Default::default()
+            },
             4,
         );
         let night = video_workload(
             "night",
-            VideoConfig { frames: 15_000, night: true, ..Default::default() },
+            VideoConfig {
+                frames: 15_000,
+                night: true,
+                ..Default::default()
+            },
             4,
         );
         assert!(night.mean_difficulty() > day.mean_difficulty() + 0.05);
@@ -157,9 +192,20 @@ mod tests {
     #[test]
     fn most_frames_are_easy() {
         // The EE premise: most video frames do not need the whole model.
-        let w = video_workload("v", VideoConfig { frames: 20_000, ..Default::default() }, 5);
+        let w = video_workload(
+            "v",
+            VideoConfig {
+                frames: 20_000,
+                ..Default::default()
+            },
+            5,
+        );
         let easy = w.samples().iter().filter(|s| s.difficulty < 0.5).count();
-        assert!(easy as f64 / w.len() as f64 > 0.7, "easy fraction {}", easy as f64 / w.len() as f64);
+        assert!(
+            easy as f64 / w.len() as f64 > 0.7,
+            "easy fraction {}",
+            easy as f64 / w.len() as f64
+        );
     }
 
     #[test]
@@ -179,6 +225,9 @@ mod tests {
     fn generation_is_deterministic() {
         let a = video_workload("v", VideoConfig::default(), 9);
         let b = video_workload("v", VideoConfig::default(), 9);
-        assert_eq!(a.samples()[1234].difficulty.to_bits(), b.samples()[1234].difficulty.to_bits());
+        assert_eq!(
+            a.samples()[1234].difficulty.to_bits(),
+            b.samples()[1234].difficulty.to_bits()
+        );
     }
 }

@@ -98,8 +98,12 @@ impl GenerativeWorkload {
         let sequences = (0..config.requests)
             .map(|i| {
                 let output_tokens = match config.task {
-                    GenerativeTask::Summarization => stream.normal_with(60.0, 18.0).clamp(16.0, 128.0) as u32,
-                    GenerativeTask::QuestionAnswering => stream.normal_with(18.0, 8.0).clamp(3.0, 48.0) as u32,
+                    GenerativeTask::Summarization => {
+                        stream.normal_with(60.0, 18.0).clamp(16.0, 128.0) as u32
+                    }
+                    GenerativeTask::QuestionAnswering => {
+                        stream.normal_with(18.0, 8.0).clamp(3.0, 48.0) as u32
+                    }
                 };
                 let sequence_mean =
                     (config.mean_difficulty + stream.normal_with(0.0, 0.12)).clamp(0.02, 0.95);
@@ -145,7 +149,7 @@ impl GenerativeWorkload {
     /// innovations) so any token can be queried independently and repeatably.
     pub fn token_semantics(&self, request_id: u64, token_index: u32) -> SampleSemantics {
         let spec = &self.sequences[request_id as usize];
-        let rng = DeterministicRng::new(self.seed).child(0x70CE_4 + request_id);
+        let rng = DeterministicRng::new(self.seed).child(0x70CE4 + request_id);
         // Approximate AR(1): blend the previous few innovations with
         // geometrically decaying weights. Window of 8 captures > 99 % of the
         // mass for continuity <= 0.9.
@@ -183,7 +187,11 @@ mod tests {
         let summ = workload(GenerativeTask::Summarization);
         let qa = workload(GenerativeTask::QuestionAnswering);
         let mean_len = |w: &GenerativeWorkload| {
-            w.sequences().iter().map(|s| s.output_tokens as f64).sum::<f64>() / w.len() as f64
+            w.sequences()
+                .iter()
+                .map(|s| s.output_tokens as f64)
+                .sum::<f64>()
+                / w.len() as f64
         };
         assert!(mean_len(&summ) > 2.0 * mean_len(&qa));
         assert_eq!(summ.task.dataset_name(), "cnn-dailymail");

@@ -115,7 +115,9 @@ pub fn imdb_reviews(config: ImdbConfig, seed: u64) -> Workload {
         let noise = stream.normal_with(0.0, 0.18);
         let difficulty = (review_mean + noise).clamp(0.0, 1.0);
         samples.push(SampleSemantics::new(
-            seed.wrapping_mul(257).wrapping_add(0xDB << 48).wrapping_add(i as u64),
+            seed.wrapping_mul(257)
+                .wrapping_add(0xDB << 48)
+                .wrapping_add(i as u64),
             difficulty,
         ));
     }
@@ -149,23 +151,54 @@ mod tests {
 
     #[test]
     fn amazon_shape_and_bounds() {
-        let w = amazon_reviews(AmazonConfig { requests: 10_000, ..Default::default() }, 1);
+        let w = amazon_reviews(
+            AmazonConfig {
+                requests: 10_000,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(w.len(), 10_000);
         assert_eq!(w.domain, Domain::Nlp);
-        assert!(w.samples().iter().all(|s| (0.0..=1.0).contains(&s.difficulty)));
+        assert!(w
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.difficulty)));
     }
 
     #[test]
     fn imdb_shape_and_bounds() {
-        let w = imdb_reviews(ImdbConfig { requests: 8_000, ..Default::default() }, 2);
+        let w = imdb_reviews(
+            ImdbConfig {
+                requests: 8_000,
+                ..Default::default()
+            },
+            2,
+        );
         assert_eq!(w.len(), 8_000);
-        assert!(w.samples().iter().all(|s| (0.0..=1.0).contains(&s.difficulty)));
+        assert!(w
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.difficulty)));
     }
 
     #[test]
     fn nlp_is_harder_than_cv_on_average() {
-        let nlp = amazon_reviews(AmazonConfig { requests: 15_000, ..Default::default() }, 3);
-        let cv = video_workload("v", VideoConfig { frames: 15_000, ..Default::default() }, 3);
+        let nlp = amazon_reviews(
+            AmazonConfig {
+                requests: 15_000,
+                ..Default::default()
+            },
+            3,
+        );
+        let cv = video_workload(
+            "v",
+            VideoConfig {
+                frames: 15_000,
+                ..Default::default()
+            },
+            3,
+        );
         assert!(
             nlp.mean_difficulty() > cv.mean_difficulty() + 0.1,
             "nlp {} cv {}",
@@ -176,9 +209,28 @@ mod tests {
 
     #[test]
     fn nlp_has_much_lower_continuity_than_cv() {
-        let nlp = amazon_reviews(AmazonConfig { requests: 15_000, ..Default::default() }, 4);
-        let imdb = imdb_reviews(ImdbConfig { requests: 15_000, ..Default::default() }, 4);
-        let cv = video_workload("v", VideoConfig { frames: 15_000, ..Default::default() }, 4);
+        let nlp = amazon_reviews(
+            AmazonConfig {
+                requests: 15_000,
+                ..Default::default()
+            },
+            4,
+        );
+        let imdb = imdb_reviews(
+            ImdbConfig {
+                requests: 15_000,
+                ..Default::default()
+            },
+            4,
+        );
+        let cv = video_workload(
+            "v",
+            VideoConfig {
+                frames: 15_000,
+                ..Default::default()
+            },
+            4,
+        );
         let cv_ac = cv.difficulty_autocorrelation();
         assert!(nlp.difficulty_autocorrelation() < cv_ac - 0.3);
         assert!(imdb.difficulty_autocorrelation() < cv_ac - 0.3);
@@ -188,7 +240,13 @@ mod tests {
     fn nlp_streams_still_have_block_structure() {
         // Category/user/review blocks should leave *some* positive
         // autocorrelation — the stream is not i.i.d.
-        let nlp = amazon_reviews(AmazonConfig { requests: 20_000, ..Default::default() }, 5);
+        let nlp = amazon_reviews(
+            AmazonConfig {
+                requests: 20_000,
+                ..Default::default()
+            },
+            5,
+        );
         assert!(nlp.difficulty_autocorrelation() > 0.05);
     }
 

@@ -141,14 +141,17 @@ mod tests {
         assert_eq!(split.train.len(), 10);
         assert_eq!(split.validation.len(), 90);
         assert_eq!(split.serving.len(), 900);
-        assert_eq!(split.train.len() + split.validation.len() + split.serving.len(), 1000);
+        assert_eq!(
+            split.train.len() + split.validation.len() + split.serving.len(),
+            1000
+        );
     }
 
     #[test]
     fn bootstrap_split_handles_tiny_workloads() {
         let w = workload(5);
         let split = w.bootstrap_split();
-        assert!(split.train.len() >= 1);
+        assert!(!split.train.is_empty());
         assert_eq!(
             split.train.len() + split.validation.len() + split.serving.len(),
             5

@@ -1,1 +1,6 @@
-fn main() {}
+//! Placeholder bench harness (`harness = false`): criterion is pending
+//! registry access — see ROADMAP.md "Open items".
+
+fn main() {
+    println!("bench_adaptation: criterion benches pending; see ROADMAP.md");
+}

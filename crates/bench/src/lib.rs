@@ -1,1 +1,43 @@
-//! placeholder
+//! Benchmark support for the Apparate reproduction.
+//!
+//! The `benches/` harnesses are registered with `harness = false` and are
+//! currently placeholders: the container this workspace builds in has no
+//! registry access, so `criterion` cannot be added yet (see ROADMAP.md "Open
+//! items"). Until then, this crate offers [`time_it`], a minimal wall-clock
+//! helper the placeholder harnesses (and ad-hoc measurements) can use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Run `f` `iters` times and return the mean wall-clock duration per
+/// iteration in microseconds.
+pub fn time_it<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    assert!(iters > 0, "at least one iteration is required");
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_reports_a_meaningful_per_iteration_mean() {
+        let small = time_it(20, || {
+            std::hint::black_box((0..2_000u64).sum::<u64>());
+        });
+        let large = time_it(20, || {
+            std::hint::black_box((0..200_000u64).map(std::hint::black_box).sum::<u64>());
+        });
+        assert!(small > 0.0, "real work takes measurable time");
+        assert!(
+            large > small,
+            "100x the work must report a larger mean ({large} vs {small} µs)"
+        );
+    }
+}

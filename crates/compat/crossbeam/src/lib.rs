@@ -1,0 +1,31 @@
+//! Offline stand-in for the slice of `crossbeam` used by `apparate-exec`:
+//! an unbounded MPMC-ish channel. Backed by `std::sync::mpsc`, which provides
+//! the same `Sender`/`Receiver`/`TryRecvError` shape for the single-consumer
+//! pattern the profiler uses.
+
+/// Channel types mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn channel_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(41usize).unwrap();
+        tx.send(42).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 41);
+        assert_eq!(rx.try_recv().unwrap(), 42);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        drop(tx);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the parts of `rand` 0.8 that `apparate-sim` uses:
+//! [`RngCore`], [`Rng::sample`] / [`Rng::gen_range`], [`SeedableRng`], and the
+//! [`distributions::Open01`] distribution. The call sites are API-compatible
+//! with the real crate, so swapping the genuine `rand` back in (when a
+//! registry is reachable) requires no source changes elsewhere.
+
+/// Core RNG interface: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Distributions over values, sampled with an RNG.
+pub mod distributions {
+    use crate::RngCore;
+
+    /// A distribution producing values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The open unit interval `(0, 1)`: never returns exactly 0 or 1.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Open01;
+
+    impl Distribution<f64> for Open01 {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Top 53 bits plus half an ulp, exactly the mapping the real
+            // Open01 uses up to rounding: strictly inside (0, 1).
+            ((rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from a distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distribution: D) -> T
+    where
+        Self: Sized,
+    {
+        distribution.sample(self)
+    }
+
+    /// Uniform integer in the given half-open range.
+    ///
+    /// Unbiased via Lemire-style widening rejection.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = range.end - range.start;
+        if span.is_power_of_two() {
+            return range.start + (self.next_u64() & (span - 1));
+        }
+        // Rejection sampling over the largest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span) - 1;
+        loop {
+            let draw = self.next_u64();
+            if draw <= zone {
+                return range.start + draw % span;
+            }
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (e.g. `[u8; 32]`).
+    type Seed;
+
+    /// Build the RNG from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Open01;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// SplitMix64 test generator.
+    struct Mix(u64);
+    impl RngCore for Mix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+    impl SeedableRng for Mix {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Mix {
+            Mix(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn open01_is_open() {
+        let mut rng = Mix::from_seed(7u64.to_le_bytes());
+        for _ in 0..10_000 {
+            let x: f64 = rng.sample(Open01);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Mix::from_seed(9u64.to_le_bytes());
+        let mut counts = [0usize; 7];
+        for _ in 0..7_000 {
+            counts[rng.gen_range(0..7) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "counts {counts:?}");
+    }
+}

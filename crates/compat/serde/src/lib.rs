@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! minimal surface the workspace uses: the `Serialize` / `Deserialize` names
+//! as both (empty) traits and (no-op) derive macros. No actual serialisation
+//! is performed anywhere in the reproduction yet; when a real serialisation
+//! need appears, replace this path dependency with the real crates.io `serde`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// The derive macros share the `Serialize` / `Deserialize` names in the macro
+// namespace, exactly as the real serde facade does.
+pub use serde_derive::{Deserialize, Serialize};

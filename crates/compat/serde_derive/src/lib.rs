@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no access to a crates.io
+//! mirror, and nothing in the reproduction actually serialises data yet — the
+//! `Serialize`/`Deserialize` derives across the workspace only express intent.
+//! These derive macros therefore expand to nothing, which keeps every
+//! `#[derive(Serialize, Deserialize)]` in the codebase compiling without
+//! pulling in the real serde machinery. Swapping the real `serde` +
+//! `serde_derive` back in is a two-line change in `crates/compat/serde`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,1 +1,9 @@
-fn main() {}
+//! Placeholder example — see ROADMAP.md "Open items".
+//!
+//! The end-to-end flow this example will demonstrate already runs today via
+//! the repro harness: `cargo run --release -p apparate-experiments --bin repro`.
+
+fn main() {
+    println!("not yet implemented; run the repro binary instead:");
+    println!("  cargo run --release -p apparate-experiments --bin repro");
+}

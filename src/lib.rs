@@ -1,1 +1,32 @@
-//! placeholder
+//! # Apparate — a Rust reproduction of "Apparate: Rethinking Early Exits to
+//! # Tame Latency–Throughput Tensions in ML Serving" (SOSP '24)
+//!
+//! This facade crate re-exports the whole workspace so applications (and the
+//! examples in `examples/`) can depend on a single crate:
+//!
+//! * [`sim`] — virtual time, splittable deterministic RNG, event queue, stats.
+//! * [`model`] — layer IR, model graphs, latency models, the model zoo.
+//! * [`exec`] — ramp semantics, execution plans, GPU accounting.
+//! * [`workload`] — synthetic CV / NLP / generative difficulty streams.
+//! * [`serving`] — serving-platform simulation with pluggable exit policies.
+//! * [`control`] — Apparate's controller algorithms (placement, tuning, …).
+//! * [`baselines`] — vanilla / static-EE / offline-tuned / oracle policies.
+//! * [`experiments`] — the end-to-end comparison harness and `repro` binary.
+//!
+//! Run the headline comparison with:
+//!
+//! ```text
+//! cargo run --release -p apparate-experiments --bin repro
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apparate_baselines as baselines;
+pub use apparate_core as control;
+pub use apparate_exec as exec;
+pub use apparate_experiments as experiments;
+pub use apparate_model as model;
+pub use apparate_serving as serving;
+pub use apparate_sim as sim;
+pub use apparate_workload as workload;
