@@ -6,25 +6,28 @@
 //! tables. Output is deterministic: the same `--seed` always produces the
 //! same tables.
 //!
+//! The actual scenario running lives in
+//! [`apparate_experiments::run_scenarios`], so other harnesses (the `e2e`
+//! bench suite in particular) can reuse it; this binary only parses arguments
+//! and renders the tables.
+//!
 //! ```text
 //! repro [--seed N] [--quick] [--scenario cv|nlp|generative|all]
 //! ```
 
-use apparate_experiments::{
-    cv_scenario, generative_scenario, nlp_scenario, run_classification, run_generative,
-};
+use apparate_experiments::{run_scenarios, ReproSizes, ScenarioSelect};
 
 struct Args {
     seed: u64,
     quick: bool,
-    scenario: String,
+    scenario: ScenarioSelect,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seed: 42,
         quick: false,
-        scenario: "all".to_string(),
+        scenario: ScenarioSelect::All,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -38,10 +41,7 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => args.quick = true,
             "--scenario" => {
                 let value = it.next().ok_or("--scenario requires a value")?;
-                match value.as_str() {
-                    "cv" | "nlp" | "generative" | "all" => args.scenario = value,
-                    other => return Err(format!("unknown scenario: {other}")),
-                }
+                args.scenario = value.parse()?;
             }
             "--help" | "-h" => {
                 println!("usage: repro [--seed N] [--quick] [--scenario cv|nlp|generative|all]");
@@ -73,12 +73,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // Workload sizes: the serving split is 90 % of these counts (§3.1's
-    // bootstrap takes the first 10 %).
-    let (cv_frames, nlp_requests, gen_requests) = if args.quick {
-        (3_000, 3_000, 60)
+    let sizes = if args.quick {
+        ReproSizes::quick()
     } else {
-        (9_000, 9_000, 150)
+        ReproSizes::full()
     };
 
     emit(&format!(
@@ -88,16 +86,7 @@ fn main() {
         if args.quick { "quick" } else { "full" }
     ));
 
-    if args.scenario == "all" || args.scenario == "cv" {
-        let table = run_classification(&cv_scenario(args.seed, cv_frames));
-        emit(&format!("{}\n", table.render()));
-    }
-    if args.scenario == "all" || args.scenario == "nlp" {
-        let table = run_classification(&nlp_scenario(args.seed, nlp_requests));
-        emit(&format!("{}\n", table.render()));
-    }
-    if args.scenario == "all" || args.scenario == "generative" {
-        let table = run_generative(&generative_scenario(args.seed, gen_requests));
+    for table in run_scenarios(args.seed, sizes, args.scenario) {
         emit(&format!("{}\n", table.render()));
     }
 

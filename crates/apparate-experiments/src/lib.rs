@@ -27,5 +27,6 @@ pub use controller::{ApparatePolicy, ApparateTokenPolicy, ControllerStats};
 pub use report::{ComparisonTable, PolicyRow};
 pub use scenario::{
     cv_scenario, generative_scenario, nlp_scenario, run_classification, run_generative,
-    scenario_config, ClassificationScenario, GenerativeScenario, TraceKind, STATIC_THRESHOLD,
+    run_scenarios, scenario_config, ClassificationScenario, GenerativeScenario, ReproSizes,
+    ScenarioSelect, TraceKind, STATIC_THRESHOLD,
 };

@@ -47,6 +47,97 @@ pub fn scenario_config() -> ApparateConfig {
     }
 }
 
+/// Workload sizes for one repro pass. The serving split is 90 % of these
+/// counts (§3.1's bootstrap takes the first 10 %).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReproSizes {
+    /// Frames in the CV video stream.
+    pub cv_frames: usize,
+    /// Requests in the NLP sentiment stream.
+    pub nlp_requests: usize,
+    /// Requests in the generative summarisation workload.
+    pub gen_requests: usize,
+}
+
+impl ReproSizes {
+    /// The paper-scale run (`repro` without `--quick`).
+    pub fn full() -> ReproSizes {
+        ReproSizes {
+            cv_frames: 9_000,
+            nlp_requests: 9_000,
+            gen_requests: 150,
+        }
+    }
+
+    /// The CI-friendly run (`repro --quick`): same structure, a third of the
+    /// stream.
+    pub fn quick() -> ReproSizes {
+        ReproSizes {
+            cv_frames: 3_000,
+            nlp_requests: 3_000,
+            gen_requests: 60,
+        }
+    }
+
+    /// Bench-sized streams: big enough that the controller tunes and adjusts
+    /// at least once, small enough to sample repeatedly in a benchmark loop.
+    pub fn bench() -> ReproSizes {
+        ReproSizes {
+            cv_frames: 1_200,
+            nlp_requests: 1_200,
+            gen_requests: 24,
+        }
+    }
+}
+
+/// Which scenarios a repro pass covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioSelect {
+    /// CV only (ResNet-50 over the urban-night video stream).
+    Cv,
+    /// NLP only (BERT-base over Amazon reviews).
+    Nlp,
+    /// Generative only (Llama2-7B summarisation).
+    Generative,
+    /// All three, in CV → NLP → generative order.
+    All,
+}
+
+impl std::str::FromStr for ScenarioSelect {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ScenarioSelect, String> {
+        match s {
+            "cv" => Ok(ScenarioSelect::Cv),
+            "nlp" => Ok(ScenarioSelect::Nlp),
+            "generative" => Ok(ScenarioSelect::Generative),
+            "all" => Ok(ScenarioSelect::All),
+            other => Err(format!("unknown scenario: {other}")),
+        }
+    }
+}
+
+/// Run the selected comparison scenarios at the given sizes and return their
+/// tables in a fixed order. This is the reusable entry point behind the
+/// `repro` binary and the `e2e` bench suite: everything is derived from
+/// `seed`, so the same arguments always produce the same tables.
+pub fn run_scenarios(seed: u64, sizes: ReproSizes, select: ScenarioSelect) -> Vec<ComparisonTable> {
+    let mut tables = Vec::new();
+    if matches!(select, ScenarioSelect::Cv | ScenarioSelect::All) {
+        tables.push(run_classification(&cv_scenario(seed, sizes.cv_frames)));
+    }
+    if matches!(select, ScenarioSelect::Nlp | ScenarioSelect::All) {
+        tables.push(run_classification(&nlp_scenario(seed, sizes.nlp_requests)));
+    }
+    if matches!(select, ScenarioSelect::Generative | ScenarioSelect::All) {
+        tables.push(run_generative(&generative_scenario(
+            seed,
+            sizes.gen_requests,
+        )));
+    }
+    tables
+}
+
 /// How arrivals are generated for a classification scenario.
 #[derive(Debug, Clone, Copy)]
 pub enum TraceKind {

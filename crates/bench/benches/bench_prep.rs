@@ -1,6 +1,9 @@
-//! Placeholder bench harness (`harness = false`): criterion is pending
-//! registry access — see ROADMAP.md "Open items".
+//! Scenario preparation: feasible-site enumeration and ramp deployment.
+//!
+//! Run via `cargo bench -p apparate-bench --bench bench_prep -- --quick`
+//! (`--smoke`, `--seed N` also accepted); the suite itself lives in
+//! `apparate_bench::suites`, shared with the `bench` binary.
 
 fn main() {
-    println!("bench_prep: criterion benches pending; see ROADMAP.md");
+    apparate_bench::bench_main("prep");
 }

@@ -1,6 +1,9 @@
-//! Placeholder bench harness (`harness = false`): criterion is pending
-//! registry access — see ROADMAP.md "Open items".
+//! Threshold tuning (Algorithm 1): greedy and grid search over recorded windows.
+//!
+//! Run via `cargo bench -p apparate-bench --bench bench_tuning -- --quick`
+//! (`--smoke`, `--seed N` also accepted); the suite itself lives in
+//! `apparate_bench::suites`, shared with the `bench` binary.
 
 fn main() {
-    println!("bench_tuning: criterion benches pending; see ROADMAP.md");
+    apparate_bench::bench_main("tuning");
 }

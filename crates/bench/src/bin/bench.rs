@@ -1,0 +1,146 @@
+//! `bench` — run the benchmark suites and write the consolidated
+//! `BENCH_*.json` perf-trajectory file.
+//!
+//! ```text
+//! bench [--quick|--smoke] [--seed N] [--suite NAME]... [--out PATH] [--list]
+//! ```
+//!
+//! Modes: default (full) takes tight samples for local perf work; `--quick`
+//! is the CI mode (same fixtures, fewer samples); `--smoke` shrinks fixtures
+//! too and exists for the structural determinism test. `--suite` limits the
+//! run to the named suites (repeatable); `--out` writes the JSON-lines report
+//! (schema header + one line per benchmark).
+
+use apparate_bench::{render_json_lines, render_table, suites, BenchConfig, BenchContext};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Full,
+    Quick,
+    Smoke,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Quick => "quick",
+            Mode::Smoke => "smoke",
+        }
+    }
+
+    fn config(self) -> BenchConfig {
+        match self {
+            Mode::Full => BenchConfig::full(),
+            Mode::Quick => BenchConfig::quick(),
+            Mode::Smoke => BenchConfig::smoke(),
+        }
+    }
+}
+
+struct Args {
+    seed: u64,
+    mode: Mode,
+    out: Option<String>,
+    suites: Vec<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        mode: Mode::Full,
+        out: None,
+        suites: Vec::new(),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.mode = Mode::Quick,
+            "--smoke" => args.mode = Mode::Smoke,
+            "--full" => args.mode = Mode::Full,
+            "--seed" => {
+                let value = it.next().ok_or("--seed requires a value")?;
+                args.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out requires a path")?);
+            }
+            "--suite" => {
+                let value = it.next().ok_or("--suite requires a name")?;
+                if !suites::suite_names().contains(&value.as_str()) {
+                    return Err(format!(
+                        "unknown suite: {value} (known: {})",
+                        suites::suite_names().join(", ")
+                    ));
+                }
+                args.suites.push(value);
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench [--quick|--smoke] [--seed N] [--suite NAME]... \
+                     [--out PATH] [--list]"
+                );
+                std::process::exit(0);
+            }
+            "--bench" => {} // forwarded by `cargo bench`; ignore
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench: {message}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        for name in suites::suite_names() {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let ctx = BenchContext {
+        seed: args.seed,
+        config: args.mode.config(),
+    };
+    let selected: Vec<String> = if args.suites.is_empty() {
+        suites::suite_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args.suites.clone()
+    };
+
+    let mut reports = Vec::new();
+    for name in &selected {
+        eprintln!(
+            "bench: running suite {name} (seed {}, {} mode)",
+            args.seed,
+            args.mode.name()
+        );
+        let suite_reports = suites::run_suite(&ctx, name).expect("suite names were validated");
+        reports.extend(suite_reports);
+    }
+
+    print!("{}", render_table(&reports));
+
+    if let Some(path) = &args.out {
+        let text = render_json_lines(args.seed, args.mode.name(), &reports);
+        if let Err(error) = std::fs::write(path, text) {
+            eprintln!("bench: failed writing {path}: {error}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {} benchmark reports to {path}", reports.len());
+    }
+}

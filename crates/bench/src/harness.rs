@@ -1,0 +1,171 @@
+//! The statistical measurement loop: warmup, iteration-count calibration
+//! against a wall-clock budget, and per-sample recording.
+//!
+//! This is the offline-container stand-in for criterion (which cannot be
+//! vendored without registry access, see ROADMAP.md): the same three-phase
+//! shape — warm up, calibrate how many iterations one sample should batch so
+//! a sample is long enough to time accurately, then record samples until the
+//! budget runs out — with robust summary statistics from [`crate::stats`].
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use crate::report::BenchReport;
+
+/// Budgets and thresholds of one measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Wall-clock budget of the warmup/calibration phase.
+    pub warmup: Duration,
+    /// Wall-clock budget of the sampling phase (per benchmark).
+    pub budget: Duration,
+    /// Record at least this many samples even if the budget is exhausted.
+    pub min_samples: usize,
+    /// Stop after this many samples even if budget remains.
+    pub max_samples: usize,
+    /// Outlier cutoff in MAD-derived standard deviations from the median.
+    pub outlier_mad_k: f64,
+    /// Multiplier the suites apply to their fixture sizes; smoke mode
+    /// shrinks workloads so the determinism test stays fast.
+    pub workload_scale: f64,
+}
+
+impl BenchConfig {
+    /// Default mode: tight confidence intervals for local perf work.
+    pub fn full() -> BenchConfig {
+        BenchConfig {
+            warmup: Duration::from_millis(200),
+            budget: Duration::from_millis(1_500),
+            min_samples: 20,
+            max_samples: 200,
+            outlier_mad_k: 5.0,
+            workload_scale: 1.0,
+        }
+    }
+
+    /// CI mode (`--quick`): same fixtures, fewer samples per benchmark.
+    pub fn quick() -> BenchConfig {
+        BenchConfig {
+            warmup: Duration::from_millis(30),
+            budget: Duration::from_millis(250),
+            min_samples: 10,
+            max_samples: 60,
+            outlier_mad_k: 5.0,
+            workload_scale: 1.0,
+        }
+    }
+
+    /// Test mode (`--smoke`): minimal sampling over shrunken fixtures, for
+    /// the structural determinism check.
+    pub fn smoke() -> BenchConfig {
+        BenchConfig {
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(10),
+            min_samples: 3,
+            max_samples: 5,
+            outlier_mad_k: 5.0,
+            workload_scale: 0.15,
+        }
+    }
+}
+
+/// Measure `f` under `config` and summarise it as a [`BenchReport`].
+///
+/// The closure's return value is routed through [`black_box`] every call so
+/// the optimiser cannot delete the measured work, and the closure itself may
+/// mutate captured state (`FnMut`).
+pub fn run_bench<R>(
+    config: &BenchConfig,
+    suite: &str,
+    benchmark: &str,
+    mut f: impl FnMut() -> R,
+) -> BenchReport {
+    // Warmup doubles as calibration: run at least once, keep going until the
+    // warmup budget elapses, and use the observed per-iteration cost to pick
+    // how many iterations one recorded sample batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    loop {
+        black_box(f());
+        warm_iters += 1;
+        if warm_start.elapsed() >= config.warmup {
+            break;
+        }
+    }
+    let per_iter_s = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+    let budget_s = config.budget.as_secs_f64();
+    let target_sample_s = budget_s / config.max_samples as f64;
+    let iters = ((target_sample_s / per_iter_s.max(1e-9)) as u64).max(1);
+
+    let mut samples_us: Vec<f64> = Vec::with_capacity(config.max_samples);
+    let run_start = Instant::now();
+    loop {
+        let sample_start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples_us.push(sample_start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+        if samples_us.len() >= config.max_samples {
+            break;
+        }
+        if samples_us.len() >= config.min_samples && run_start.elapsed().as_secs_f64() >= budget_s {
+            break;
+        }
+    }
+    BenchReport::from_samples(suite, benchmark, &samples_us, iters, config.outlier_mad_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_bench_reports_finite_nonzero_statistics() {
+        let config = BenchConfig::smoke();
+        let report = run_bench(&config, "harness", "sum", || {
+            (0..500u64).map(black_box).sum::<u64>()
+        });
+        assert_eq!(report.suite, "harness");
+        assert_eq!(report.benchmark, "sum");
+        assert!(report.samples >= config.min_samples - report.outliers_dropped);
+        assert!(report.iters >= 1);
+        for value in [
+            report.median_us,
+            report.p95_us,
+            report.p99_us,
+            report.mean_us,
+        ] {
+            assert!(value.is_finite() && value > 0.0, "stat must be finite > 0");
+        }
+        assert!(report.median_us <= report.p95_us);
+        assert!(report.p95_us <= report.p99_us);
+    }
+
+    #[test]
+    fn heavier_work_reports_a_larger_median() {
+        let config = BenchConfig::smoke();
+        let small = run_bench(&config, "harness", "small", || {
+            (0..1_000u64).map(black_box).sum::<u64>()
+        });
+        let large = run_bench(&config, "harness", "large", || {
+            (0..100_000u64).map(black_box).sum::<u64>()
+        });
+        assert!(
+            large.median_us > small.median_us,
+            "100x the work must report a larger median ({} vs {} µs)",
+            large.median_us,
+            small.median_us
+        );
+    }
+
+    #[test]
+    fn stateful_closures_are_supported() {
+        let mut counter = 0u64;
+        let report = run_bench(&BenchConfig::smoke(), "harness", "stateful", || {
+            counter += 1;
+            counter
+        });
+        assert!(counter as usize >= report.samples);
+    }
+}

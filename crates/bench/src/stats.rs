@@ -1,0 +1,137 @@
+//! Order statistics for the bench harness: interpolated quantiles and
+//! MAD-based outlier rejection.
+//!
+//! The harness records wall-clock samples, and wall clocks on shared machines
+//! are heavy-tailed: a page fault or scheduler preemption inflates a single
+//! sample by orders of magnitude. Robust statistics (median, median absolute
+//! deviation) keep those events from polluting the reported numbers while the
+//! `outliers_dropped` count keeps them visible.
+
+/// Multiplier mapping the MAD of a normally distributed sample to its
+/// standard deviation (`1 / Φ⁻¹(3/4)`).
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Linear-interpolation quantile over an ascending-sorted, non-empty slice
+/// (the "R-7" definition: `h = (n − 1)·q`, interpolate between the
+/// neighbouring order statistics).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (h - lo as f64)
+}
+
+/// Arithmetic mean; `NaN` for an empty sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sort a copy ascending. Panics on NaN — the harness never produces NaN
+/// sample times, so a NaN here is a caller bug worth failing loudly on.
+pub fn sorted_copy(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    v
+}
+
+/// Median absolute deviation (unscaled) of a sample.
+pub fn median_abs_deviation(values: &[f64]) -> f64 {
+    let sorted = sorted_copy(values);
+    let med = quantile(&sorted, 0.5);
+    let deviations = sorted_copy(&values.iter().map(|x| (x - med).abs()).collect::<Vec<_>>());
+    quantile(&deviations, 0.5)
+}
+
+/// Split a sample into inliers and a dropped-outlier count: a sample is an
+/// outlier when it sits more than `k` (MAD-derived) standard deviations from
+/// the median. Samples of fewer than three values are returned untouched.
+pub fn reject_outliers(values: &[f64], k: f64) -> (Vec<f64>, usize) {
+    if values.len() < 3 {
+        return (values.to_vec(), 0);
+    }
+    let sorted = sorted_copy(values);
+    let med = quantile(&sorted, 0.5);
+    let mad = median_abs_deviation(values);
+    // A window where more than half the samples are identical has MAD = 0;
+    // fall back to a relative epsilon so a genuine spike is still dropped
+    // without flagging sub-nanosecond floating-point jitter.
+    let scale = (MAD_TO_SIGMA * mad).max(med.abs() * 1e-9 + f64::MIN_POSITIVE);
+    let cutoff = k * scale;
+    let kept: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|x| (x - med).abs() <= cutoff)
+        .collect();
+    let dropped = values.len() - kept.len();
+    (kept, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        // 1, 2, …, 100: every quantile has a closed form under R-7.
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((quantile(&values, 0.5) - 50.5).abs() < 1e-12);
+        assert!((quantile(&values, 0.95) - 95.05).abs() < 1e-12);
+        assert!((quantile(&values, 0.99) - 99.01).abs() < 1e-12);
+        assert_eq!(quantile(&values, 0.0), 1.0);
+        assert_eq!(quantile(&values, 1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_of_a_singleton_is_the_value() {
+        assert_eq!(quantile(&[7.25], 0.95), 7.25);
+    }
+
+    #[test]
+    fn mad_matches_hand_computation() {
+        // median 3, deviations {2, 1, 0, 1, 2} → MAD 1.
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((median_abs_deviation(&values) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_rejection_drops_a_100x_spike() {
+        // ~100 µs samples with realistic jitter, plus one 100× spike (a
+        // preempted sample).
+        let mut values: Vec<f64> = (0..49).map(|i| 100.0 + (i % 7) as f64 * 0.3).collect();
+        values.push(10_000.0);
+        let (kept, dropped) = reject_outliers(&values, 5.0);
+        assert_eq!(dropped, 1, "exactly the spike is rejected");
+        assert_eq!(kept.len(), 49);
+        assert!(kept.iter().all(|&x| x < 110.0));
+    }
+
+    #[test]
+    fn outlier_rejection_keeps_an_identical_sample_intact() {
+        let values = vec![42.0; 20];
+        let (kept, dropped) = reject_outliers(&values, 5.0);
+        assert_eq!(dropped, 0);
+        assert_eq!(kept.len(), 20);
+    }
+
+    #[test]
+    fn zero_mad_still_catches_a_spike() {
+        // More than half the samples identical → MAD = 0; the epsilon
+        // fallback must still reject the spike.
+        let mut values = vec![50.0; 19];
+        values.push(5_000.0);
+        let (_, dropped) = reject_outliers(&values, 5.0);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn tiny_samples_are_never_rejected() {
+        let (kept, dropped) = reject_outliers(&[1.0, 1_000.0], 5.0);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(dropped, 0);
+    }
+}

@@ -1,0 +1,570 @@
+//! The seven benchmark suites, measuring the workspace's hot paths:
+//!
+//! | suite         | what it measures                                         |
+//! |---------------|----------------------------------------------------------|
+//! | `tuning`      | threshold tuning, Algorithm 1 (`apparate-core`)          |
+//! | `adaptation`  | ramp utility + adjustment, Algorithm 2 (`apparate-core`) |
+//! | `prep`        | ramp-site enumeration + deployment (`apparate-baselines`)|
+//! | `serving`     | batching simulator + arrival traces (`apparate-serving`) |
+//! | `generative`  | continuous-batching token policies (`apparate-baselines`)|
+//! | `sensitivity` | accuracy/ramp-budget sweep points                        |
+//! | `e2e`         | repro quick-run scenarios (`apparate-experiments`)       |
+//!
+//! Every suite is a plain function from a [`BenchContext`] to a list of
+//! [`BenchReport`]s, registered in [`SUITES`]. Fixtures are built once per
+//! suite, outside the measured closures; everything is derived from the
+//! context seed, so the *structure* of a run (suite and benchmark names) is
+//! deterministic even though the measured times are not.
+
+use apparate_baselines::{
+    batch_time_fn, deploy_all_sites, deploy_budget_sites, offline_tuned_thresholds,
+    per_ramp_savings_us, vanilla_policy, RampDeployment, StaticExitPolicy, StaticTokenPolicy,
+};
+use apparate_core::{
+    adjust_ramps, feasible_sites, greedy_tune, grid_tune, ramp_utilities, AdjustInput,
+    ApparateConfig, GreedyParams, RampArchitecture, RequestFeedback, ThresholdEvaluator,
+};
+use apparate_exec::{SampleSemantics, SemanticsModel};
+use apparate_experiments::{run_scenarios, scenario_config, ReproSizes, ScenarioSelect};
+use apparate_model::{zoo, ZooModel};
+use apparate_serving::{
+    ArrivalTrace, ContinuousBatchingConfig, GenerativeSimulator, Request, ServingConfig,
+    ServingSimulator, TokenSemantics, VanillaTokenPolicy,
+};
+use apparate_sim::{DeterministicRng, SimDuration};
+use apparate_workload::{
+    video_workload, GenerativeConfig, GenerativeTask, GenerativeWorkload, VideoConfig, Workload,
+};
+
+use crate::harness::{run_bench, BenchConfig};
+use crate::report::BenchReport;
+
+/// Everything a suite needs: the experiment seed and the measurement budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchContext {
+    /// Experiment seed; fixtures derive all randomness from it.
+    pub seed: u64,
+    /// Measurement budgets and the fixture scale.
+    pub config: BenchConfig,
+}
+
+impl BenchContext {
+    /// Scale a fixture size by the config's workload scale (smoke mode
+    /// shrinks fixtures), with a floor that keeps bootstrap splits non-empty.
+    pub fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.config.workload_scale).round() as usize).max(4)
+    }
+
+    fn bench<R>(&self, suite: &str, benchmark: &str, f: impl FnMut() -> R) -> BenchReport {
+        run_bench(&self.config, suite, benchmark, f)
+    }
+}
+
+/// A suite: context in, reports out.
+pub type SuiteFn = fn(&BenchContext) -> Vec<BenchReport>;
+
+/// The registered suites, in the order the `bench` binary runs them.
+pub const SUITES: &[(&str, SuiteFn)] = &[
+    ("tuning", tuning),
+    ("adaptation", adaptation),
+    ("prep", prep),
+    ("serving", serving),
+    ("generative", generative),
+    ("sensitivity", sensitivity),
+    ("e2e", e2e),
+];
+
+/// Names of all registered suites, in run order.
+pub fn suite_names() -> Vec<&'static str> {
+    SUITES.iter().map(|(name, _)| *name).collect()
+}
+
+/// Run one suite by name; `None` for an unknown name.
+pub fn run_suite(ctx: &BenchContext, name: &str) -> Option<Vec<BenchReport>> {
+    SUITES
+        .iter()
+        .find(|(suite, _)| *suite == name)
+        .map(|(_, f)| f(ctx))
+}
+
+/// Run every registered suite and concatenate the reports.
+pub fn run_all(ctx: &BenchContext) -> Vec<BenchReport> {
+    SUITES.iter().flat_map(|(_, f)| f(ctx)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+// ---------------------------------------------------------------------------
+
+/// The CV comparison fixture most suites measure against: ResNet-50 over the
+/// urban-night stream with Apparate's budgeted ramp deployment, mirroring
+/// `apparate_experiments::cv_scenario`.
+struct CvFixture {
+    model: ZooModel,
+    semantics: SemanticsModel,
+    deployment: RampDeployment,
+    workload: Workload,
+}
+
+fn semantics_for(seed: u64, model: &ZooModel) -> SemanticsModel {
+    SemanticsModel::new(
+        DeterministicRng::new(seed).child(0x5E).seed(),
+        model.descriptor.overparameterization,
+    )
+}
+
+fn cv_fixture(ctx: &BenchContext) -> CvFixture {
+    let model = zoo::resnet(50);
+    let workload = video_workload(
+        "urban-night",
+        VideoConfig {
+            frames: ctx.scaled(3_000),
+            night: true,
+            ..VideoConfig::default()
+        },
+        DeterministicRng::new(ctx.seed).child(0xC0).seed(),
+    );
+    let semantics = semantics_for(ctx.seed, &model);
+    let train_len = workload.bootstrap_split().train.len();
+    let deployment = deploy_budget_sites(
+        &model,
+        &semantics,
+        &scenario_config(),
+        RampArchitecture::Lightweight,
+        train_len,
+    );
+    CvFixture {
+        model,
+        semantics,
+        deployment,
+        workload,
+    }
+}
+
+fn greedy_params(accuracy_loss_budget: f64) -> GreedyParams {
+    GreedyParams {
+        accuracy_loss_budget,
+        ..GreedyParams::default()
+    }
+}
+
+/// Build the tuner's observation window from calibration samples, exactly the
+/// way `offline_tuned_thresholds` does.
+fn feedback_window(
+    plan: &apparate_exec::ExecutionPlan,
+    samples: &[SampleSemantics],
+    batch_size: u32,
+) -> Vec<RequestFeedback> {
+    samples
+        .iter()
+        .map(|sample| RequestFeedback {
+            observations: (0..plan.num_ramps())
+                .map(|i| plan.observe(sample, i))
+                .collect(),
+            exited: None,
+            correct: true,
+            batch_size,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// tuning — threshold tuning (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+fn tuning(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "tuning";
+    let fx = cv_fixture(ctx);
+    let plan = &fx.deployment.plan;
+    let split = fx.workload.bootstrap_split();
+    let reference_batch = 4u32;
+    let records = feedback_window(plan, split.validation, reference_batch);
+    let savings = per_ramp_savings_us(plan, reference_batch);
+
+    // Grid search is O(levels^ramps), so the Figure 10 comparison point is
+    // measured on the first two ramps only.
+    let grid_records: Vec<RequestFeedback> = records
+        .iter()
+        .map(|r| RequestFeedback {
+            observations: r.observations.iter().take(2).cloned().collect(),
+            exited: r.exited,
+            correct: r.correct,
+            batch_size: r.batch_size,
+        })
+        .collect();
+    let grid_savings: Vec<f64> = savings.iter().take(2).copied().collect();
+
+    vec![
+        ctx.bench(SUITE, "greedy_tune/validation-window", || {
+            let evaluator = ThresholdEvaluator::new(&records, &savings);
+            greedy_tune(&evaluator, greedy_params(0.01))
+        }),
+        ctx.bench(SUITE, "grid_tune/2-ramps-step-0.25", || {
+            let evaluator = ThresholdEvaluator::new(&grid_records, &grid_savings);
+            grid_tune(&evaluator, 0.01, 0.25)
+        }),
+        ctx.bench(SUITE, "offline_tuned_thresholds/bootstrap", || {
+            offline_tuned_thresholds(plan, split.validation, greedy_params(0.01), reference_batch)
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// adaptation — ramp utilities + adjustment (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+fn adaptation(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "adaptation";
+    let fx = cv_fixture(ctx);
+    let dep = &fx.deployment;
+    let plan = &dep.plan;
+    let batch = 4u32;
+
+    let vanilla_us = plan.vanilla_total_us(batch);
+    let per_exit_saving: Vec<f64> = dep
+        .all_sites
+        .iter()
+        .map(|s| (vanilla_us * (1.0 - plan.depth_fraction_of_site(s.site))).max(0.0))
+        .collect();
+    let per_request_overhead = plan.total_ramp_overhead_us(batch) / plan.num_ramps().max(1) as f64;
+
+    let active = &dep.active_sites;
+    let n = active.len();
+    let window = 512u64;
+    // Synthetic but shaped window: exit mass front-loaded geometrically, the
+    // tail ramps seeing few exits — the regime adjustment reasons about.
+    let exit_counts: Vec<u64> = (0..n).map(|i| window >> (i as u32 + 2)).collect();
+    let active_savings: Vec<f64> = active.iter().map(|&site| per_exit_saving[site]).collect();
+    let active_overheads: Vec<f64> = vec![per_request_overhead; n];
+
+    let utilities = ramp_utilities(&exit_counts, window, &active_savings, &active_overheads);
+    let positive_utils: Vec<f64> = utilities
+        .iter()
+        .map(|u| u.net_us().abs().max(1.0))
+        .collect();
+    let mut negative_utils = positive_utils.clone();
+    if let Some(last) = negative_utils.last_mut() {
+        *last = -1_000.0;
+    }
+    let exit_rates: Vec<f64> = exit_counts
+        .iter()
+        .map(|&c| c as f64 / window as f64)
+        .collect();
+
+    vec![
+        ctx.bench(SUITE, "ramp_utilities/adjust-window", || {
+            ramp_utilities(&exit_counts, window, &active_savings, &active_overheads)
+        }),
+        ctx.bench(SUITE, "adjust_ramps/probe-earlier", || {
+            adjust_ramps(&AdjustInput {
+                num_sites: dep.all_sites.len(),
+                active_sites: active,
+                utilities_us: &positive_utils,
+                exit_rates: &exit_rates,
+                window_requests: window,
+                per_exit_saving_us: &per_exit_saving,
+                per_request_overhead_us: per_request_overhead,
+                max_active: dep.max_active,
+            })
+        }),
+        ctx.bench(SUITE, "adjust_ramps/replace-negative", || {
+            adjust_ramps(&AdjustInput {
+                num_sites: dep.all_sites.len(),
+                active_sites: active,
+                utilities_us: &negative_utils,
+                exit_rates: &exit_rates,
+                window_requests: window,
+                per_exit_saving_us: &per_exit_saving,
+                per_request_overhead_us: per_request_overhead,
+                max_active: dep.max_active,
+            })
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// prep — scenario preparation (site enumeration, ramp training, deployment)
+// ---------------------------------------------------------------------------
+
+fn prep(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "prep";
+    let resnet = zoo::resnet(50);
+    let bert = zoo::bert_base();
+    let resnet_semantics = semantics_for(ctx.seed, &resnet);
+    let bert_semantics = semantics_for(ctx.seed, &bert);
+    let config = scenario_config();
+    let train_samples = ctx.scaled(30);
+
+    vec![
+        ctx.bench(SUITE, "feasible_sites/resnet50", || {
+            feasible_sites(&resnet, RampArchitecture::Lightweight)
+        }),
+        ctx.bench(SUITE, "deploy_budget_sites/resnet50", || {
+            deploy_budget_sites(
+                &resnet,
+                &resnet_semantics,
+                &config,
+                RampArchitecture::Lightweight,
+                train_samples,
+            )
+        }),
+        ctx.bench(SUITE, "deploy_all_sites/resnet50", || {
+            deploy_all_sites(
+                &resnet,
+                &resnet_semantics,
+                RampArchitecture::Lightweight,
+                train_samples,
+            )
+        }),
+        ctx.bench(SUITE, "deploy_budget_sites/bert-base", || {
+            deploy_budget_sites(
+                &bert,
+                &bert_semantics,
+                &config,
+                RampArchitecture::Lightweight,
+                train_samples,
+            )
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// serving — batching simulator + arrival-trace generation
+// ---------------------------------------------------------------------------
+
+fn serving(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "serving";
+    let fx = cv_fixture(ctx);
+    let split = fx.workload.bootstrap_split();
+    let serving_samples = split.serving;
+    let trace = ArrivalTrace::fixed_rate(serving_samples.len(), 30.0);
+    let slo_ms = fx.model.descriptor.default_slo_ms;
+    let sim = ServingSimulator::new(ServingConfig::clockwork(slo_ms, 8));
+    let plan = fx.deployment.plan.clone();
+    let vanilla_plan = plan.with_ramps(Vec::new());
+    let trace_len = ctx.scaled(10_000);
+
+    vec![
+        ctx.bench(SUITE, "simulate/static-ee/cv-serving-split", || {
+            let mut policy = StaticExitPolicy::uniform(plan.clone(), 0.2, "static-ee");
+            let estimate = batch_time_fn(&plan);
+            sim.run(&trace, serving_samples, &mut policy, &estimate)
+        }),
+        ctx.bench(SUITE, "simulate/vanilla/cv-serving-split", || {
+            let mut policy = vanilla_policy(&vanilla_plan);
+            let estimate = batch_time_fn(&vanilla_plan);
+            sim.run(&trace, serving_samples, &mut policy, &estimate)
+        }),
+        ctx.bench(SUITE, "arrival_trace/maf_like", || {
+            ArrivalTrace::maf_like(
+                trace_len,
+                12.0,
+                DeterministicRng::new(ctx.seed).child(0x7A).seed(),
+            )
+        }),
+        ctx.bench(SUITE, "arrival_trace/poisson", || {
+            ArrivalTrace::poisson(
+                trace_len,
+                12.0,
+                DeterministicRng::new(ctx.seed).child(0x7B).seed(),
+            )
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// generative — token-level policies in the continuous-batching decode loop
+// ---------------------------------------------------------------------------
+
+/// Adapter exposing a workload's deterministic token semantics to the
+/// simulator (mirrors the private adapter in `apparate-experiments`).
+struct WorkloadTokens<'a>(&'a GenerativeWorkload);
+
+impl TokenSemantics for WorkloadTokens<'_> {
+    fn token(&self, request_id: u64, token_index: u32) -> SampleSemantics {
+        self.0.token_semantics(request_id, token_index)
+    }
+}
+
+fn generative(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "generative";
+    let model = zoo::llama2_7b();
+    let semantics = semantics_for(ctx.seed, &model);
+    let workload = GenerativeWorkload::generate(
+        GenerativeConfig::for_task(GenerativeTask::Summarization, ctx.scaled(24)),
+        DeterministicRng::new(ctx.seed).child(0x6E).seed(),
+    );
+    let trace = ArrivalTrace::poisson(
+        workload.len(),
+        1.0,
+        DeterministicRng::new(ctx.seed).child(0x7B).seed(),
+    );
+    let requests: Vec<Request> = trace
+        .times()
+        .iter()
+        .zip(workload.sequences())
+        .map(|(&at, spec)| {
+            Request::generative(
+                spec.request_id,
+                at,
+                workload.token_semantics(spec.request_id, 0),
+                spec.output_tokens,
+            )
+        })
+        .collect();
+    let tokens = WorkloadTokens(&workload);
+    let sim = GenerativeSimulator::new(ContinuousBatchingConfig { max_batch_size: 16 });
+    let deployment = deploy_budget_sites(
+        &model,
+        &semantics,
+        &scenario_config(),
+        RampArchitecture::Lightweight,
+        0,
+    );
+    let plan = deployment.plan.clone();
+    let vanilla_plan = plan.with_ramps(Vec::new());
+
+    vec![
+        ctx.bench(SUITE, "simulate/static-token/summarization", || {
+            let mut policy = StaticTokenPolicy::uniform(plan.clone(), 0.2, "static-ee");
+            sim.run(&requests, &tokens, &mut policy)
+        }),
+        ctx.bench(SUITE, "simulate/vanilla-token/summarization", || {
+            let mut policy = VanillaTokenPolicy::new(|b| {
+                SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(b))
+            });
+            sim.run(&requests, &tokens, &mut policy)
+        }),
+        ctx.bench(SUITE, "token_semantics/sequence-walk", || {
+            let mut acc = 0.0f64;
+            for spec in workload.sequences() {
+                for t in 0..spec.output_tokens.min(16) {
+                    acc += workload.token_semantics(spec.request_id, t).difficulty;
+                }
+            }
+            acc
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// sensitivity — sweep points over the two user-facing knobs
+// ---------------------------------------------------------------------------
+
+fn sensitivity(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "sensitivity";
+    let fx = cv_fixture(ctx);
+    let plan = &fx.deployment.plan;
+    let split = fx.workload.bootstrap_split();
+    let reference_batch = 4u32;
+    let train_len = split.train.len();
+
+    let mut reports = Vec::new();
+    for (label, accuracy_budget) in [
+        ("acc-0.5pct", 0.005),
+        ("acc-1pct", 0.01),
+        ("acc-2pct", 0.02),
+    ] {
+        reports.push(ctx.bench(SUITE, &format!("offline_tune/{label}"), || {
+            offline_tuned_thresholds(
+                plan,
+                split.validation,
+                greedy_params(accuracy_budget),
+                reference_batch,
+            )
+        }));
+    }
+    reports.push(ctx.bench(SUITE, "deploy/ramp-budget-sweep", || {
+        let mut total_ramps = 0usize;
+        for ramp_budget in [0.01, 0.02, 0.04] {
+            let config = ApparateConfig {
+                ramp_budget,
+                ..scenario_config()
+            };
+            let deployment = deploy_budget_sites(
+                &fx.model,
+                &fx.semantics,
+                &config,
+                RampArchitecture::Lightweight,
+                train_len,
+            );
+            total_ramps += deployment.plan.num_ramps();
+        }
+        total_ramps
+    }));
+    reports
+}
+
+// ---------------------------------------------------------------------------
+// e2e — repro quick-run scenarios
+// ---------------------------------------------------------------------------
+
+fn e2e(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "e2e";
+    let sizes = ReproSizes {
+        cv_frames: ctx.scaled(ReproSizes::bench().cv_frames),
+        nlp_requests: ctx.scaled(ReproSizes::bench().nlp_requests),
+        gen_requests: ctx.scaled(ReproSizes::bench().gen_requests),
+    };
+    vec![
+        ctx.bench(SUITE, "quick_run/cv", || {
+            run_scenarios(ctx.seed, sizes, ScenarioSelect::Cv)
+        }),
+        ctx.bench(SUITE, "quick_run/nlp", || {
+            run_scenarios(ctx.seed, sizes, ScenarioSelect::Nlp)
+        }),
+        ctx.bench(SUITE, "quick_run/generative", || {
+            run_scenarios(ctx.seed, sizes, ScenarioSelect::Generative)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_registry_has_the_seven_paper_suites() {
+        assert_eq!(
+            suite_names(),
+            vec![
+                "tuning",
+                "adaptation",
+                "prep",
+                "serving",
+                "generative",
+                "sensitivity",
+                "e2e"
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_suite_is_none() {
+        let ctx = BenchContext {
+            seed: 42,
+            config: BenchConfig::smoke(),
+        };
+        assert!(run_suite(&ctx, "no-such-suite").is_none());
+    }
+
+    #[test]
+    fn adaptation_suite_reports_finite_nonzero_medians() {
+        // The cheapest fixture-backed suite doubles as a smoke test that the
+        // harness produces usable statistics over real workspace code.
+        let ctx = BenchContext {
+            seed: 42,
+            config: BenchConfig::smoke(),
+        };
+        let reports = run_suite(&ctx, "adaptation").expect("registered suite");
+        assert_eq!(reports.len(), 3);
+        for report in &reports {
+            assert_eq!(report.suite, "adaptation");
+            assert!(
+                report.median_us.is_finite() && report.median_us > 0.0,
+                "{}: median must be finite and non-zero",
+                report.benchmark
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Structural determinism of the bench binary: two runs with the same seed
+//! must enumerate identical suite/benchmark name sets (the measured times
+//! vary with the wall clock; the *structure* of the perf trajectory must
+//! not, or BENCH_*.json files would stop being comparable across commits).
+//!
+//! Uses `--smoke` (shrunken fixtures, minimal sampling) so the check stays
+//! fast enough for tier-1 `cargo test`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// All suites the consolidated report must cover, in run order.
+const EXPECTED_SUITES: [&str; 7] = [
+    "tuning",
+    "adaptation",
+    "prep",
+    "serving",
+    "generative",
+    "sensitivity",
+    "e2e",
+];
+
+/// Extract the string value of `"key":"…"` from a JSON line written by the
+/// hand-rolled writer (names never contain escaped quotes).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extract the numeric value of `"key":…` from a JSON line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run_bench(out: &Path) -> Vec<(String, String, f64)> {
+    let output = Command::new(env!("CARGO_BIN_EXE_bench"))
+        .args(["--smoke", "--seed", "42", "--out"])
+        .arg(out)
+        .output()
+        .expect("bench binary must run");
+    assert!(
+        output.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(out).expect("bench must write the report file");
+    text.lines()
+        .filter(|line| !line.contains("\"schema\""))
+        .map(|line| {
+            (
+                field_str(line, "suite").expect("report line has a suite"),
+                field_str(line, "benchmark").expect("report line has a benchmark"),
+                field_num(line, "median_us").expect("report line has a median"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_runs_emit_identical_name_sets_covering_all_suites() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let run_a = run_bench(&dir.join(format!("bench_det_a_{}.json", std::process::id())));
+    let run_b = run_bench(&dir.join(format!("bench_det_b_{}.json", std::process::id())));
+
+    let names_a: Vec<(&str, &str)> = run_a
+        .iter()
+        .map(|(s, b, _)| (s.as_str(), b.as_str()))
+        .collect();
+    let names_b: Vec<(&str, &str)> = run_b
+        .iter()
+        .map(|(s, b, _)| (s.as_str(), b.as_str()))
+        .collect();
+    assert_eq!(
+        names_a, names_b,
+        "two --smoke --seed 42 runs must enumerate the same benchmarks in the same order"
+    );
+
+    let mut suites: Vec<&str> = names_a.iter().map(|(s, _)| *s).collect();
+    suites.dedup();
+    assert_eq!(suites, EXPECTED_SUITES, "every suite must be represented");
+
+    for (suite, benchmark, median_us) in &run_a {
+        assert!(
+            median_us.is_finite() && *median_us > 0.0,
+            "{suite}/{benchmark}: median_us must be finite and non-zero, got {median_us}"
+        );
+    }
+}
