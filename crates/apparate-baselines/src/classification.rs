@@ -123,6 +123,7 @@ impl ExitPolicy for StaticExitPolicy {
                 .iter()
                 .map(|obs| exit_outcome(&self.plan, obs, &self.thresholds, b))
                 .collect(),
+            profile: None,
         }
     }
 
@@ -215,6 +216,7 @@ impl ExitPolicy for OracleExitPolicy {
                     }
                 })
                 .collect(),
+            profile: None,
         }
     }
 

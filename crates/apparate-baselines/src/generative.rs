@@ -72,6 +72,7 @@ impl TokenPolicy for StaticTokenPolicy {
         StepOutcome {
             gpu_time: step_gpu_time(&per_token),
             per_token,
+            profile: None,
         }
     }
 
@@ -178,6 +179,7 @@ impl TokenPolicy for OracleTokenPolicy {
                     correct: true,
                 })
                 .collect(),
+            profile: None,
         }
     }
 

@@ -20,6 +20,7 @@ pub mod semantics;
 pub use engine::{BatchExecution, ExecutionPlan, RampPlacement, RequestObservations};
 pub use gpu::{GpuDevice, GpuError};
 pub use profiler::{
-    feedback_link, FeedbackReceiver, FeedbackSender, LinkCost, LinkStats, ProfileRecord,
+    feedback_link, FeedbackReceiver, FeedbackSender, LinkCost, LinkStats, OverheadReport,
+    ProfileRecord, ThresholdUpdate, WirePayload, RAMP_DEFINITION_BYTES,
 };
 pub use semantics::{RampObservation, SampleSemantics, SemanticsModel};

@@ -1,23 +1,38 @@
-//! GPU → controller profiling feedback channel.
+//! The bidirectional GPU ↔ controller coordination link.
 //!
 //! Apparate "runs a separate controller per model replica on a CPU, with GPUs
 //! streaming per-ramp/batch profiling information in a non-blocking fashion"
-//! (§3). The stream carries, per request and per active ramp, a top-predicted
-//! result and an error score (~1 KB per batch), and threshold updates flow
-//! back (~10 KB of ramp definitions). §4.5 measures the coordination delay at
-//! ~0.5 ms per message, 0.4 ms of which is fixed PCIe latency.
+//! (§3). The uplink carries, per request and per active ramp, a top-predicted
+//! result and an error score (~1 KB per batch); the downlink carries threshold
+//! updates and, when the ramp set changes, ~10 KB of ramp definitions (§4.5).
+//! §4.5 measures the coordination delay at ~0.5 ms per message, 0.4 ms of
+//! which is fixed PCIe latency.
 //!
-//! The simulation reproduces those costs so the overhead microbenchmark
-//! (experiment `overhead`) can report them, and uses a real channel so the
-//! controller code is structured the same way it would be against a real GPU
-//! stream (producer/consumer, non-blocking for serving).
+//! The simulation reproduces those costs so the overhead experiment can report
+//! them, and uses a real channel so the controller code is structured the same
+//! way it would be against a real GPU stream (producer/consumer, non-blocking
+//! for serving). Both directions are modelled with the same machinery: a
+//! [`FeedbackSender`]/[`FeedbackReceiver`] pair generic over the
+//! [`WirePayload`] it carries, with [`ProfileRecord`] flowing GPU → controller
+//! and [`ThresholdUpdate`] flowing controller → GPU. Delivery is charged
+//! against the [`LinkCost`] model and takes effect only once the simulated
+//! transfer has completed, so consumers polling at time *t* can never act on
+//! messages still on the wire at *t*.
 
+use crate::engine::RampPlacement;
 use crate::semantics::RampObservation;
 use apparate_sim::{SimDuration, SimTime};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Anything that can be shipped across the link: it only needs to know its
+/// approximate serialised size so the transfer latency can be charged.
+pub trait WirePayload {
+    /// Approximate wire size of this message in bytes.
+    fn wire_bytes(&self) -> u64;
+}
 
 /// One batch worth of profiling data streamed from the GPU to the controller.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,20 +45,62 @@ pub struct ProfileRecord {
     pub observations: Vec<Vec<RampObservation>>,
     /// Request identifiers, parallel to `observations`.
     pub request_ids: Vec<u64>,
+    /// Ramp index each request's result exited at (None = ran to the head),
+    /// parallel to `observations`.
+    pub exits: Vec<Option<usize>>,
+    /// Whether each released result matched the original model, parallel to
+    /// `observations`.
+    pub corrects: Vec<bool>,
+    /// Configuration epoch the GPU was running when it produced this record
+    /// (incremented by every applied [`ThresholdUpdate`]). Lets the controller
+    /// discard records whose ramp indices predate a ramp-set change.
+    pub config_epoch: u64,
 }
 
-impl ProfileRecord {
-    /// Approximate wire size of this record in bytes: the paper quotes ~1 KB
-    /// for a top-predicted result plus error score per batch; we charge
-    /// 8 bytes per (request, ramp) observation plus a small header.
-    pub fn wire_bytes(&self) -> u64 {
+impl WirePayload for ProfileRecord {
+    /// Approximate wire size: the paper quotes ~1 KB for a top-predicted
+    /// result plus error score per batch; we charge 8 bytes per
+    /// (request, ramp) observation, 10 bytes of per-request release metadata
+    /// (id + exit + agreement) and a small header.
+    fn wire_bytes(&self) -> u64 {
         let per_obs = 8u64;
         let obs: u64 = self
             .observations
             .iter()
             .map(|r| r.len() as u64 * per_obs)
             .sum();
-        64 + obs + self.request_ids.len() as u64 * 8
+        64 + obs + self.request_ids.len() as u64 * 10
+    }
+}
+
+/// Approximate serialised size of one ramp definition (§4.5: threshold
+/// updates that change the ramp set ship ~10 KB of ramp definitions).
+pub const RAMP_DEFINITION_BYTES: u64 = 10 * 1024;
+
+/// A controller → GPU configuration update: new per-ramp thresholds and,
+/// when the ramp set changed, the replacement ramp definitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdUpdate {
+    /// When the controller issued the update.
+    pub issued_at: SimTime,
+    /// Configuration epoch this update establishes on the GPU.
+    pub config_epoch: u64,
+    /// New per-ramp exit thresholds (one per active ramp, in ramp order).
+    pub thresholds: Vec<f64>,
+    /// Replacement ramp set, when the adjustment algorithm changed it. `None`
+    /// means thresholds-only: the active ramps are unchanged.
+    pub ramps: Option<Vec<RampPlacement>>,
+}
+
+impl WirePayload for ThresholdUpdate {
+    /// Thresholds are a small vector of floats; ramp definitions (weights of
+    /// the ramp layers) dominate whenever they are included.
+    fn wire_bytes(&self) -> u64 {
+        let ramp_bytes = match &self.ramps {
+            Some(ramps) => ramps.len().max(1) as u64 * RAMP_DEFINITION_BYTES,
+            None => 0,
+        };
+        64 + self.thresholds.len() as u64 * 8 + ramp_bytes
     }
 }
 
@@ -67,6 +124,13 @@ impl Default for LinkCost {
 }
 
 impl LinkCost {
+    /// A zero-latency link (for isolating the algorithmic behaviour from the
+    /// coordination delay in tests).
+    pub const FREE: LinkCost = LinkCost {
+        fixed_us: 0.0,
+        per_kib_us: 0.0,
+    };
+
     /// Latency of transferring `bytes` in one message.
     pub fn transfer_latency(&self, bytes: u64) -> SimDuration {
         let kib = bytes as f64 / 1024.0;
@@ -74,10 +138,10 @@ impl LinkCost {
     }
 }
 
-/// Shared statistics about the feedback link.
+/// Shared statistics about one direction of the feedback link.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct LinkStats {
-    /// Messages sent GPU → controller.
+    /// Messages sent.
     pub messages: u64,
     /// Total bytes sent.
     pub bytes: u64,
@@ -96,26 +160,78 @@ impl LinkStats {
     }
 }
 
-/// The GPU-side producer half of the feedback link.
-#[derive(Debug, Clone)]
-pub struct FeedbackSender {
-    tx: Sender<(SimTime, ProfileRecord)>,
+/// Both directions of a GPU ↔ controller link, for the §4.5 overhead table.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// GPU → controller profiling stream.
+    pub uplink: LinkStats,
+    /// Controller → GPU threshold/ramp updates.
+    pub downlink: LinkStats,
+}
+
+impl OverheadReport {
+    /// Messages across both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.uplink.messages + self.downlink.messages
+    }
+
+    /// Bytes across both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.uplink.bytes + self.downlink.bytes
+    }
+
+    /// Total coordination latency across both directions.
+    pub fn total_latency(&self) -> SimDuration {
+        self.uplink.total_latency + self.downlink.total_latency
+    }
+
+    /// Mean per-message latency across both directions.
+    pub fn mean_latency(&self) -> SimDuration {
+        let messages = self.total_messages();
+        if messages == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_latency() / messages
+        }
+    }
+}
+
+/// An in-flight message: when it lands, its send sequence number (for
+/// deterministic delivery order), and the payload.
+type InFlight<T> = (SimTime, u64, T);
+
+/// The producer half of one link direction.
+#[derive(Debug)]
+pub struct FeedbackSender<T> {
+    tx: Sender<InFlight<T>>,
     cost: LinkCost,
     stats: Arc<Mutex<LinkStats>>,
 }
 
-/// The controller-side consumer half of the feedback link.
-#[derive(Debug)]
-pub struct FeedbackReceiver {
-    rx: Receiver<(SimTime, ProfileRecord)>,
-    stats: Arc<Mutex<LinkStats>>,
-    /// Records received from the channel but whose simulated delivery time has
-    /// not yet been reached.
-    pending: Vec<(SimTime, ProfileRecord)>,
+// Manual impl: `std::sync::mpsc::Sender` (the offline crossbeam stand-in) is
+// Clone, but deriving would also bound `T: Clone`, which senders don't need.
+impl<T> Clone for FeedbackSender<T> {
+    fn clone(&self) -> Self {
+        FeedbackSender {
+            tx: self.tx.clone(),
+            cost: self.cost,
+            stats: Arc::clone(&self.stats),
+        }
+    }
 }
 
-/// Create a feedback link with the given cost model.
-pub fn feedback_link(cost: LinkCost) -> (FeedbackSender, FeedbackReceiver) {
+/// The consumer half of one link direction.
+#[derive(Debug)]
+pub struct FeedbackReceiver<T> {
+    rx: Receiver<InFlight<T>>,
+    stats: Arc<Mutex<LinkStats>>,
+    /// Messages received from the channel but whose simulated delivery time
+    /// has not yet been reached.
+    pending: Vec<InFlight<T>>,
+}
+
+/// Create one direction of a feedback link with the given cost model.
+pub fn feedback_link<T: WirePayload>(cost: LinkCost) -> (FeedbackSender<T>, FeedbackReceiver<T>) {
     let (tx, rx) = unbounded();
     let stats = Arc::new(Mutex::new(LinkStats::default()));
     (
@@ -132,72 +248,75 @@ pub fn feedback_link(cost: LinkCost) -> (FeedbackSender, FeedbackReceiver) {
     )
 }
 
-impl FeedbackSender {
-    /// Stream one record. Returns the simulated time at which the controller
-    /// will have it (send time + transfer latency). Sending never blocks the
-    /// simulated GPU.
-    pub fn send(&self, record: ProfileRecord) -> SimTime {
-        let latency = self.cost.transfer_latency(record.wire_bytes());
-        let deliver_at = record.completed_at + latency;
-        {
+impl<T: WirePayload> FeedbackSender<T> {
+    /// Stream one message at simulated time `sent_at`. Returns the time at
+    /// which the receiver will have it (send time + transfer latency).
+    /// Sending never blocks the simulated producer.
+    pub fn send(&self, payload: T, sent_at: SimTime) -> SimTime {
+        let latency = self.cost.transfer_latency(payload.wire_bytes());
+        let deliver_at = sent_at + latency;
+        let seq = {
             let mut stats = self.stats.lock();
             stats.messages += 1;
-            stats.bytes += record.wire_bytes();
+            stats.bytes += payload.wire_bytes();
             stats.total_latency += latency;
-        }
+            stats.messages
+        };
         // The receiver may have been dropped (e.g. controller shut down); the
-        // GPU stream must not care.
-        let _ = self.tx.send((deliver_at, record));
+        // producer must not care.
+        let _ = self.tx.send((deliver_at, seq, payload));
         deliver_at
     }
 
-    /// Snapshot of the link statistics.
+    /// The cost model this sender charges.
+    pub fn cost(&self) -> LinkCost {
+        self.cost
+    }
+
+    /// Snapshot of this direction's statistics.
     pub fn stats(&self) -> LinkStats {
         self.stats.lock().clone()
     }
 }
 
-impl FeedbackReceiver {
-    /// Drain every record that has been *delivered* by `now` (send latency
-    /// already accounted for). Records still "in flight" stay queued.
-    pub fn poll(&mut self, now: SimTime) -> Vec<ProfileRecord> {
-        let mut ready = Vec::new();
-        let mut requeue = Vec::new();
-        while let Ok((deliver_at, record)) = self.rx.try_recv() {
-            if deliver_at <= now {
-                ready.push(record);
-            } else {
-                requeue.push((deliver_at, record));
-            }
-        }
-        // Anything not yet delivered is conceptually still on the wire; since
-        // crossbeam channels have no peek, we keep them locally.
-        for item in requeue {
+impl<T> FeedbackReceiver<T> {
+    /// Drain every message that has been *delivered* by `now` (transfer
+    /// latency already accounted for). Messages still "in flight" stay queued.
+    ///
+    /// Delivery order is deterministic: ready messages are returned sorted by
+    /// `(deliver_at, send sequence)`, so a message that was sent later but
+    /// (being smaller) landed earlier is delivered first, and simultaneous
+    /// deliveries keep their send order regardless of how the channel
+    /// interleaved with earlier `poll` calls.
+    pub fn poll(&mut self, now: SimTime) -> Vec<T> {
+        while let Ok(item) = self.rx.try_recv() {
+            // crossbeam channels have no peek, so not-yet-delivered messages
+            // are conceptually still on the wire and kept locally.
             self.pending.push(item);
         }
-        let mut still_pending = Vec::new();
-        for (deliver_at, record) in self.pending.drain(..) {
-            if deliver_at <= now {
-                ready.push(record);
+        let mut ready: Vec<InFlight<T>> = Vec::new();
+        let mut still_pending: Vec<InFlight<T>> = Vec::new();
+        for item in self.pending.drain(..) {
+            if item.0 <= now {
+                ready.push(item);
             } else {
-                still_pending.push((deliver_at, record));
+                still_pending.push(item);
             }
         }
         self.pending = still_pending;
-        ready.sort_by_key(|r| r.completed_at);
-        ready
+        ready.sort_by_key(|(deliver_at, seq, _)| (*deliver_at, *seq));
+        ready.into_iter().map(|(_, _, payload)| payload).collect()
     }
 
-    /// Snapshot of the link statistics.
-    pub fn stats(&self) -> LinkStats {
-        self.stats.lock().clone()
-    }
-}
-
-impl FeedbackReceiver {
-    /// Number of records waiting on the wire (not yet delivered).
+    /// Number of messages waiting on the wire (received from the channel but
+    /// not yet delivered).
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Snapshot of this direction's statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.stats.lock().clone()
     }
 }
 
@@ -220,6 +339,9 @@ mod tests {
                 batch as usize
             ],
             request_ids: (0..batch as u64).collect(),
+            exits: vec![None; batch as usize],
+            corrects: vec![true; batch as usize],
+            config_epoch: 0,
         }
     }
 
@@ -234,7 +356,8 @@ mod tests {
     #[test]
     fn records_deliver_after_transfer_latency() {
         let (tx, mut rx) = feedback_link(LinkCost::default());
-        let deliver_at = tx.send(record(10, 4));
+        let rec = record(10, 4);
+        let deliver_at = tx.send(rec.clone(), rec.completed_at);
         assert!(deliver_at > SimTime::from_millis(10));
         // Not yet delivered at completion time.
         assert!(rx.poll(SimTime::from_millis(10)).is_empty());
@@ -250,7 +373,8 @@ mod tests {
     fn stats_accumulate() {
         let (tx, rx) = feedback_link(LinkCost::default());
         for i in 0..5 {
-            tx.send(record(i, 2));
+            let rec = record(i, 2);
+            tx.send(rec.clone(), rec.completed_at);
         }
         let stats = rx.stats();
         assert_eq!(stats.messages, 5);
@@ -276,20 +400,104 @@ mod tests {
                 16
             ],
             request_ids: (0..16).collect(),
+            exits: vec![None; 16],
+            corrects: vec![true; 16],
+            config_epoch: 0,
         };
         assert!(rec.wire_bytes() < 2048, "wire bytes {}", rec.wire_bytes());
     }
 
     #[test]
-    fn out_of_order_polls_sort_by_completion() {
+    fn threshold_updates_are_charged_on_the_downlink() {
+        let (tx, rx) = feedback_link::<ThresholdUpdate>(LinkCost::default());
+        // Thresholds-only update: small.
+        let small = ThresholdUpdate {
+            issued_at: SimTime::from_millis(5),
+            config_epoch: 1,
+            thresholds: vec![0.2; 6],
+            ramps: None,
+        };
+        assert!(small.wire_bytes() < 256);
+        // A ramp-set change ships ~10 KB of ramp definitions per ramp.
+        let big = ThresholdUpdate {
+            ramps: Some(vec![
+                RampPlacement {
+                    site: apparate_model::LayerId(3),
+                    cost: apparate_model::LayerLatency {
+                        fixed_us: 30.0,
+                        per_item_us: 10.0,
+                        batch_alpha: 0.7,
+                    },
+                    capacity: 0.95,
+                };
+                2
+            ]),
+            ..small.clone()
+        };
+        assert!(big.wire_bytes() >= 2 * RAMP_DEFINITION_BYTES);
+        tx.send(small, SimTime::from_millis(5));
+        tx.send(big, SimTime::from_millis(5));
+        let stats = rx.stats();
+        assert_eq!(stats.messages, 2);
+        assert!(stats.bytes > 2 * RAMP_DEFINITION_BYTES);
+        // The big update takes visibly longer than the fixed PCIe latency.
+        assert!(stats.total_latency.as_millis_f64() > 2.0 * 0.4);
+    }
+
+    #[test]
+    fn delivery_order_is_deterministic_on_deliver_time_then_send_order() {
+        // A large record sent first can land *after* a small one sent later;
+        // delivery order must follow landing times, not completion times.
         let (tx, mut rx) = feedback_link(LinkCost {
             fixed_us: 0.0,
+            per_kib_us: 1_000.0,
+        });
+        let big = record(10, 64); // sent at 10 ms, slow transfer
+        let small = record(11, 1); // sent at 11 ms, lands almost immediately
+        let big_at = tx.send(big, SimTime::from_millis(10));
+        let small_at = tx.send(small, SimTime::from_millis(11));
+        assert!(small_at < big_at, "the later-sent record lands first");
+        let got = rx.poll(big_at);
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            got[0].batch_size, 1,
+            "the earlier-landing record is delivered first"
+        );
+        assert_eq!(got[1].batch_size, 64);
+    }
+
+    #[test]
+    fn later_sent_but_earlier_completed_records_do_not_jump_pending_ones() {
+        // Regression for the rx-before-pending drain bug: a record already
+        // waiting in `pending` must not be delivered behind a record that was
+        // sent later but carries an earlier completion stamp.
+        let (tx, mut rx) = feedback_link(LinkCost {
+            fixed_us: 1_000.0,
             per_kib_us: 0.0,
         });
-        tx.send(record(20, 1));
-        tx.send(record(10, 1));
+        tx.send(record(20, 2), SimTime::from_millis(20)); // lands at 21 ms
+                                                          // Poll early so the first record moves into the receiver's local
+                                                          // pending buffer while still undelivered.
+        assert!(rx.poll(SimTime::from_millis(5)).is_empty());
+        assert_eq!(rx.in_flight(), 1);
+        // Now send a record with an *earlier* completion time that lands later.
+        tx.send(record(10, 3), SimTime::from_millis(20)); // also lands at 21 ms
         let got = rx.poll(SimTime::from_millis(30));
         assert_eq!(got.len(), 2);
-        assert!(got[0].completed_at < got[1].completed_at);
+        // Identical deliver_at: send order (= sequence) breaks the tie, so the
+        // pending record is delivered first even though it completed later.
+        assert_eq!(got[0].batch_size, 2);
+        assert_eq!(got[1].batch_size, 3);
+    }
+
+    #[test]
+    fn simultaneous_deliveries_keep_send_order_across_polls() {
+        let (tx, mut rx) = feedback_link(LinkCost::FREE);
+        for i in 0..4 {
+            tx.send(record(7, i + 1), SimTime::from_millis(7));
+        }
+        let got = rx.poll(SimTime::from_millis(7));
+        let sizes: Vec<u32> = got.iter().map(|r| r.batch_size).collect();
+        assert_eq!(sizes, vec![1, 2, 3, 4]);
     }
 }

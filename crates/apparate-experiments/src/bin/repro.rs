@@ -15,7 +15,7 @@
 //! repro [--seed N] [--quick] [--scenario cv|nlp|generative|all]
 //! ```
 
-use apparate_experiments::{run_scenarios, ReproSizes, ScenarioSelect};
+use apparate_experiments::{run_scenarios_full, OverheadTable, ReproSizes, ScenarioSelect};
 
 struct Args {
     seed: u64,
@@ -86,12 +86,18 @@ fn main() {
         if args.quick { "quick" } else { "full" }
     ));
 
-    for table in run_scenarios(args.seed, sizes, args.scenario) {
-        emit(&format!("{}\n", table.render()));
+    let runs = run_scenarios_full(args.seed, sizes, args.scenario);
+    let mut overhead_rows = Vec::new();
+    for run in runs {
+        emit(&format!("{}\n", run.table.render()));
+        overhead_rows.push(run.overhead);
     }
+    emit(&format!("{}\n", OverheadTable::new(overhead_rows).render()));
 
     emit(
         "wins are % latency reduction vs. vanilla at the same percentile (higher is better);\n\
-         oracle is the zero-overhead hindsight optimal (lower bound), not a realisable policy.\n",
+         oracle is the zero-overhead hindsight optimal (lower bound), not a realisable policy;\n\
+         the overhead table charges the GPU->controller profiling stream (up) and the\n\
+         controller->GPU threshold/ramp updates (down) against the PCIe link model (~0.5 ms/msg).\n",
     );
 }

@@ -1,17 +1,30 @@
 //! The live Apparate controller: the threshold/adjust/monitor loop of §3
-//! wired into the serving platform's policy hooks.
+//! wired into the serving platform's policy hooks — with the GPU ↔ controller
+//! coordination path charged for real.
 //!
 //! `apparate-core` provides the individual algorithms (greedy threshold
 //! tuning, utility-driven ramp adjustment, monitoring windows); this module
-//! composes them into a closed loop that runs *inside* a serving simulation:
+//! composes them into a closed loop that runs *against* a serving simulation,
+//! split exactly the way the paper deploys it (§3, §4.5):
 //!
-//! 1. every batch/decode step produces per-ramp observations for every
-//!    request (free, because inputs run to the model head, §3.2);
-//! 2. the monitor ingests them; an accuracy violation over the 16-sample
-//!    window triggers threshold re-tuning on the recorded tuning window;
-//! 3. every `ramp_adjust_period` requests the utility-based ramp adjuster
-//!    (Algorithm 2) deactivates harmful ramps, trials replacements, or probes
-//!    earlier positions, after which thresholds are re-tuned.
+//! * the **GPU half** ([`GpuHalf`]) executes batches under the thresholds and
+//!   ramp set it currently has deployed, and hands the platform a per-batch
+//!   [`BatchProfile`] which the platform streams over the uplink as a
+//!   [`ProfileRecord`] when the batch completes;
+//! * the **controller half** ([`ControllerHalf`]) runs on the CPU: at each
+//!   batch boundary it polls the uplink for records whose simulated delivery
+//!   time has arrived, feeds its monitor, and runs any triggered threshold
+//!   tuning / ramp adjustment; configuration changes are shipped back as
+//!   [`ThresholdUpdate`]s over the downlink (~10 KB of ramp definitions when
+//!   the ramp set changes) and take effect on the GPU only after delivery.
+//!
+//! Both directions are charged against the [`LinkCost`] model, so every
+//! adaptation decision lags reality by the coordination latency — the §4.5
+//! overhead experiment reads those charges back via
+//! [`ApparatePolicy::overhead_report`]. The controller half never reads the
+//! live plan's observations directly: everything it learns arrives through
+//! [`FeedbackReceiver::poll`], which only surfaces messages already delivered
+//! at the poll time.
 
 use apparate_baselines::{
     exit_outcome, offline_tuned_thresholds, per_ramp_savings_us, RampDeployment,
@@ -20,8 +33,13 @@ use apparate_core::{
     adjust_ramps, greedy_tune, ramp_utilities, AdjustInput, ApparateConfig, GreedyParams, Monitor,
     RequestFeedback, ThresholdEvaluator, TrainedRamp,
 };
-use apparate_exec::{ExecutionPlan, SampleSemantics};
-use apparate_serving::{BatchOutcome, ExitPolicy, Request, StepOutcome, TokenPolicy, TokenSlot};
+use apparate_exec::{
+    feedback_link, ExecutionPlan, FeedbackReceiver, FeedbackSender, LinkCost, OverheadReport,
+    ProfileRecord, SampleSemantics, ThresholdUpdate,
+};
+use apparate_serving::{
+    BatchOutcome, BatchProfile, ExitPolicy, Request, StepOutcome, TokenPolicy, TokenSlot,
+};
 use apparate_sim::{SimDuration, SimTime};
 
 /// Counters describing what the controller did during a run.
@@ -33,11 +51,89 @@ pub struct ControllerStats {
     pub adjustment_rounds: usize,
     /// Adjustment rounds that changed the active ramp set.
     pub ramp_changes: usize,
+    /// Threshold/ramp updates shipped over the downlink.
+    pub updates_sent: usize,
+    /// Profiling records ingested from the uplink.
+    pub records_ingested: usize,
+    /// Profiling records discarded because they predate a ramp-set change
+    /// (their per-ramp observations no longer line up with the active ramps).
+    pub records_dropped: usize,
 }
 
-/// The shared controller core driving both the classification and the
-/// generative policy wrappers.
-struct ControllerCore {
+/// Fraction of the accuracy budget the tuner may spend *in-window*; the rest
+/// absorbs generalisation error and drift between retunes.
+const TUNING_SAFETY: f64 = 0.6;
+
+/// Cap on tuned thresholds: an exit is only taken on genuinely confident ramp
+/// output. Uncapped tuning saturates deep-ramp thresholds whenever the window
+/// happens to contain no hard inputs at that depth (censoring), which is
+/// exactly where drift then bites hardest.
+const MAX_TUNED_THRESHOLD: f64 = 0.35;
+
+/// The GPU-resident half: executes batches under the configuration it has
+/// *received*, which trails the controller's decisions by the downlink
+/// latency.
+struct GpuHalf {
+    plan: ExecutionPlan,
+    thresholds: Vec<f64>,
+    config_epoch: u64,
+    update_rx: FeedbackReceiver<ThresholdUpdate>,
+}
+
+impl GpuHalf {
+    /// Apply every configuration update delivered by `now` (later updates
+    /// win; each bumps the configuration epoch stamped on outgoing profiles).
+    fn sync(&mut self, now: SimTime) {
+        for update in self.update_rx.poll(now) {
+            if let Some(ramps) = update.ramps {
+                self.plan = self.plan.with_ramps(ramps);
+            }
+            self.thresholds = update.thresholds;
+            self.config_epoch = update.config_epoch;
+        }
+    }
+
+    /// Execute one batch under the deployed configuration: release decisions
+    /// for the platform plus the profiling data to stream to the controller.
+    fn execute(
+        &self,
+        samples: &[SampleSemantics],
+    ) -> (
+        SimDuration,
+        Vec<apparate_serving::RequestOutcome>,
+        BatchProfile,
+    ) {
+        let exec = self.plan.execute_batch(samples);
+        let b = samples.len() as u32;
+        let outcomes: Vec<apparate_serving::RequestOutcome> = exec
+            .per_request
+            .iter()
+            .map(|obs| exit_outcome(&self.plan, obs, &self.thresholds, b))
+            .collect();
+        let profile = BatchProfile {
+            observations: exec
+                .per_request
+                .iter()
+                .map(|obs| obs.ramp_observations.clone())
+                .collect(),
+            exits: outcomes.iter().map(|o| o.exit_ramp).collect(),
+            corrects: outcomes.iter().map(|o| o.correct).collect(),
+            config_epoch: self.config_epoch,
+        };
+        (
+            SimDuration::from_micros_f64(self.plan.gpu_batch_time_us(b)),
+            outcomes,
+            profile,
+        )
+    }
+}
+
+/// The CPU-resident half: monitors delivered profiling records and runs the
+/// adaptation algorithms, publishing configuration changes on the downlink.
+struct ControllerHalf {
+    /// The controller's mirror of the configuration it has *issued* (the GPU
+    /// converges to it one downlink delivery later). Used for savings and
+    /// overhead arithmetic, never for observations.
     plan: ExecutionPlan,
     config: ApparateConfig,
     thresholds: Vec<f64>,
@@ -62,39 +158,17 @@ struct ControllerCore {
     adjust_requests: u64,
     needs_tune: bool,
     records_since_tune: usize,
+    /// Epoch of the last issued update; every publish bumps it.
+    config_epoch: u64,
+    /// Records stamped with an epoch below this predate a ramp-set change and
+    /// are discarded (their observation vectors index the old ramp set).
+    min_ingest_epoch: u64,
+    profile_rx: FeedbackReceiver<ProfileRecord>,
+    update_tx: FeedbackSender<ThresholdUpdate>,
     stats: ControllerStats,
 }
 
-/// Fraction of the accuracy budget the tuner may spend *in-window*; the rest
-/// absorbs generalisation error and drift between retunes.
-const TUNING_SAFETY: f64 = 0.6;
-
-/// Cap on tuned thresholds: an exit is only taken on genuinely confident ramp
-/// output. Uncapped tuning saturates deep-ramp thresholds whenever the window
-/// happens to contain no hard inputs at that depth (censoring), which is
-/// exactly where drift then bites hardest.
-const MAX_TUNED_THRESHOLD: f64 = 0.35;
-
-impl ControllerCore {
-    /// Warm-start thresholds from offline calibration samples (the bootstrap
-    /// validation split, §3.1): the paper tunes initial thresholds on
-    /// bootstrap data before serving begins, so the controller does not have
-    /// to serve a whole tuning window at thresholds 0 first.
-    fn warm_start(&mut self, calibration: &[SampleSemantics]) {
-        if calibration.is_empty() || self.plan.num_ramps() == 0 {
-            return;
-        }
-        let outcome = offline_tuned_thresholds(
-            &self.plan,
-            calibration,
-            self.tuning_params(),
-            self.reference_batch,
-        );
-        self.thresholds = outcome.thresholds;
-        self.needs_tune = false;
-        self.stats.tuning_rounds += 1;
-    }
-
+impl ControllerHalf {
     /// The (conservative) greedy-search parameters every tuning round uses.
     fn tuning_params(&self) -> GreedyParams {
         GreedyParams {
@@ -111,88 +185,60 @@ impl ControllerCore {
         }
     }
 
-    fn new(
-        deployment: RampDeployment,
-        config: ApparateConfig,
-        reference_batch: u32,
-        adjust_enabled: bool,
-    ) -> ControllerCore {
-        config.validate().expect("valid Apparate configuration");
-        let RampDeployment {
-            plan,
-            all_sites,
-            active_sites,
-            max_active,
-            capacity,
-        } = deployment;
-        let site_savings_us = all_sites
-            .iter()
-            .map(|s| {
-                (plan.vanilla_total_us(reference_batch)
-                    - plan.site_prefix_us(s.site, reference_batch))
-                .max(0.0)
-            })
-            .collect();
-        let num_ramps = plan.num_ramps();
-        ControllerCore {
-            thresholds: vec![0.0; num_ramps],
-            monitor: Monitor::new(num_ramps, config.accuracy_window, config.tuning_window),
-            plan,
-            config,
-            all_sites,
-            active_sites,
-            max_active,
-            capacity,
-            reference_batch,
-            site_savings_us,
-            adjust_enabled,
-            adjust_exits: vec![0; num_ramps],
-            adjust_requests: 0,
-            needs_tune: true,
-            records_since_tune: 0,
-            stats: ControllerStats::default(),
-        }
-    }
-
-    /// Process one batch of samples: produce release decisions, feed the
-    /// monitor, and run any triggered adaptation.
-    fn step(
-        &mut self,
-        samples: &[SampleSemantics],
-    ) -> (SimDuration, Vec<apparate_serving::RequestOutcome>) {
-        let exec = self.plan.execute_batch(samples);
-        let b = samples.len() as u32;
-        let outcomes: Vec<apparate_serving::RequestOutcome> = exec
-            .per_request
-            .iter()
-            .map(|obs| exit_outcome(&self.plan, obs, &self.thresholds, b))
-            .collect();
-        for (obs, outcome) in exec.per_request.iter().zip(outcomes.iter()) {
-            self.monitor.record(RequestFeedback {
-                observations: obs.ramp_observations.clone(),
-                exited: outcome.exit_ramp,
-                correct: outcome.correct,
-                batch_size: b,
-            });
-            if let Some(ramp) = outcome.exit_ramp {
-                self.adjust_exits[ramp] += 1;
-            }
-            self.adjust_requests += 1;
-            self.records_since_tune += 1;
-        }
-        self.maybe_adjust();
-        self.maybe_tune();
-        (
-            SimDuration::from_micros_f64(self.plan.gpu_batch_time_us(b)),
-            outcomes,
-        )
-    }
-
     fn accuracy_floor(&self) -> f64 {
         1.0 - self.config.accuracy_constraint
     }
 
-    fn maybe_tune(&mut self) {
+    /// Ship the current configuration to the GPU over the downlink, charging
+    /// the transfer. `ramps_changed` additionally ships the new ramp
+    /// definitions (~10 KB each, §4.5) and fences off stale profiling records.
+    fn publish(&mut self, now: SimTime, ramps_changed: bool) {
+        self.config_epoch += 1;
+        if ramps_changed {
+            self.min_ingest_epoch = self.config_epoch;
+        }
+        let update = ThresholdUpdate {
+            issued_at: now,
+            config_epoch: self.config_epoch,
+            thresholds: self.thresholds.clone(),
+            ramps: ramps_changed.then(|| self.plan.ramps().to_vec()),
+        };
+        self.update_tx.send(update, now);
+        self.stats.updates_sent += 1;
+    }
+
+    /// Ingest every profiling record delivered by `now`, then run any
+    /// triggered adaptation. This is the *only* path observations reach the
+    /// controller: nothing the GPU produced after `now` (or still on the wire
+    /// at `now`) can influence decisions made here.
+    fn ingest(&mut self, now: SimTime) {
+        for record in self.profile_rx.poll(now) {
+            if record.config_epoch < self.min_ingest_epoch {
+                self.stats.records_dropped += 1;
+                continue;
+            }
+            self.stats.records_ingested += 1;
+            for i in 0..record.request_ids.len() {
+                self.monitor.record(RequestFeedback {
+                    observations: record.observations[i].clone(),
+                    exited: record.exits[i],
+                    correct: record.corrects[i],
+                    batch_size: record.batch_size,
+                });
+                if let Some(ramp) = record.exits[i] {
+                    if ramp < self.adjust_exits.len() {
+                        self.adjust_exits[ramp] += 1;
+                    }
+                }
+                self.adjust_requests += 1;
+                self.records_since_tune += 1;
+            }
+        }
+        self.maybe_adjust(now);
+        self.maybe_tune(now);
+    }
+
+    fn maybe_tune(&mut self, now: SimTime) {
         // Tuning only ever runs on a *full* window: with the 0.99 accuracy
         // floor, a short window accepts threshold configurations with zero
         // in-window errors that generalise poorly (saturated thresholds),
@@ -225,9 +271,10 @@ impl ControllerCore {
         self.adjust_exits = vec![0; self.plan.num_ramps()];
         self.adjust_requests = 0;
         self.stats.tuning_rounds += 1;
+        self.publish(now, false);
     }
 
-    fn maybe_adjust(&mut self) {
+    fn maybe_adjust(&mut self, now: SimTime) {
         // Never adjust ramps that have not been threshold-tuned yet: with
         // all-zero thresholds nothing exits, every ramp's utility is pure
         // overhead, and the adjuster would (correctly, but uselessly)
@@ -305,30 +352,159 @@ impl ControllerCore {
             self.needs_tune = true;
             self.stats.ramp_changes += 1;
             // Recorded observations no longer line up with the new ramp
-            // indices; the tuning window must refill before the next tune.
+            // indices; the tuning window must refill (with new-epoch records)
+            // before the next tune.
             self.monitor.reset_for_new_ramps(self.plan.num_ramps());
+            self.publish(now, true);
         }
         self.adjust_exits = vec![0; self.plan.num_ramps()];
         self.adjust_requests = 0;
     }
 }
 
+/// Both halves plus the uplink producer handle the serving platform publishes
+/// through.
+struct CoordinatedCore {
+    gpu: GpuHalf,
+    controller: ControllerHalf,
+    /// Clone-able producer half of the uplink, handed to the platform.
+    profile_tx: FeedbackSender<ProfileRecord>,
+}
+
+impl CoordinatedCore {
+    fn new(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        adjust_enabled: bool,
+        link: LinkCost,
+    ) -> CoordinatedCore {
+        config.validate().expect("valid Apparate configuration");
+        let RampDeployment {
+            plan,
+            all_sites,
+            active_sites,
+            max_active,
+            capacity,
+        } = deployment;
+        let site_savings_us = all_sites
+            .iter()
+            .map(|s| {
+                (plan.vanilla_total_us(reference_batch)
+                    - plan.site_prefix_us(s.site, reference_batch))
+                .max(0.0)
+            })
+            .collect();
+        let num_ramps = plan.num_ramps();
+        let (profile_tx, profile_rx) = feedback_link::<ProfileRecord>(link);
+        let (update_tx, update_rx) = feedback_link::<ThresholdUpdate>(link);
+        CoordinatedCore {
+            gpu: GpuHalf {
+                plan: plan.clone(),
+                thresholds: vec![0.0; num_ramps],
+                config_epoch: 0,
+                update_rx,
+            },
+            controller: ControllerHalf {
+                thresholds: vec![0.0; num_ramps],
+                monitor: Monitor::new(num_ramps, config.accuracy_window, config.tuning_window),
+                plan,
+                config,
+                all_sites,
+                active_sites,
+                max_active,
+                capacity,
+                reference_batch,
+                site_savings_us,
+                adjust_enabled,
+                adjust_exits: vec![0; num_ramps],
+                adjust_requests: 0,
+                needs_tune: true,
+                records_since_tune: 0,
+                config_epoch: 0,
+                min_ingest_epoch: 0,
+                profile_rx,
+                update_tx,
+                stats: ControllerStats::default(),
+            },
+            profile_tx,
+        }
+    }
+
+    /// Warm-start thresholds from offline calibration samples (the bootstrap
+    /// validation split, §3.1): the paper tunes initial thresholds on
+    /// bootstrap data before serving begins, so the controller does not have
+    /// to serve a whole tuning window at thresholds 0 first. This happens
+    /// offline — the initial configuration is loaded onto the GPU together
+    /// with the model, so no link transfer is charged.
+    fn warm_start(&mut self, calibration: &[SampleSemantics]) {
+        if calibration.is_empty() || self.controller.plan.num_ramps() == 0 {
+            return;
+        }
+        let outcome = offline_tuned_thresholds(
+            &self.controller.plan,
+            calibration,
+            self.controller.tuning_params(),
+            self.controller.reference_batch,
+        );
+        self.controller.thresholds = outcome.thresholds.clone();
+        self.gpu.thresholds = outcome.thresholds;
+        self.controller.needs_tune = false;
+        self.controller.stats.tuning_rounds += 1;
+    }
+
+    /// One batch/step at simulated time `now`: the controller half acts on
+    /// everything delivered by `now`, the GPU half applies every
+    /// configuration update delivered by `now`, then executes.
+    fn step(
+        &mut self,
+        samples: &[SampleSemantics],
+        now: SimTime,
+    ) -> (
+        SimDuration,
+        Vec<apparate_serving::RequestOutcome>,
+        BatchProfile,
+    ) {
+        self.controller.ingest(now);
+        self.gpu.sync(now);
+        self.gpu.execute(samples)
+    }
+
+    fn overhead_report(&self) -> OverheadReport {
+        OverheadReport {
+            uplink: self.profile_tx.stats(),
+            downlink: self.controller.update_tx.stats(),
+        }
+    }
+}
+
 /// Apparate's adaptive [`ExitPolicy`] for classification serving.
 pub struct ApparatePolicy {
-    core: ControllerCore,
+    core: CoordinatedCore,
     name: String,
 }
 
 impl ApparatePolicy {
     /// Deploy Apparate over a prepared ramp deployment with all-zero initial
-    /// thresholds (the first tune happens online, once the window fills).
+    /// thresholds (the first tune happens online, once the window fills) and
+    /// the paper's default PCIe link cost.
     pub fn new(
         deployment: RampDeployment,
         config: ApparateConfig,
         reference_batch: u32,
     ) -> ApparatePolicy {
+        ApparatePolicy::with_link(deployment, config, reference_batch, LinkCost::default())
+    }
+
+    /// Deploy Apparate with an explicit GPU ↔ controller link cost model.
+    pub fn with_link(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        link: LinkCost,
+    ) -> ApparatePolicy {
         ApparatePolicy {
-            core: ControllerCore::new(deployment, config, reference_batch, true),
+            core: CoordinatedCore::new(deployment, config, reference_batch, true, link),
             name: "apparate".to_string(),
         }
     }
@@ -341,34 +517,65 @@ impl ApparatePolicy {
         reference_batch: u32,
         calibration: &[SampleSemantics],
     ) -> ApparatePolicy {
-        let mut policy = ApparatePolicy::new(deployment, config, reference_batch);
+        ApparatePolicy::warm_started_with_link(
+            deployment,
+            config,
+            reference_batch,
+            calibration,
+            LinkCost::default(),
+        )
+    }
+
+    /// Warm-started deployment with an explicit link cost model.
+    pub fn warm_started_with_link(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        calibration: &[SampleSemantics],
+        link: LinkCost,
+    ) -> ApparatePolicy {
+        let mut policy = ApparatePolicy::with_link(deployment, config, reference_batch, link);
         policy.core.warm_start(calibration);
         policy
     }
 
-    /// Current per-ramp thresholds (for reports and tests).
+    /// Current per-ramp thresholds *as deployed on the GPU* (the controller's
+    /// latest decision may still be on the wire).
     pub fn thresholds(&self) -> &[f64] {
-        &self.core.thresholds
+        &self.core.gpu.thresholds
     }
 
-    /// Currently active feasible-site indices.
+    /// Currently active feasible-site indices (controller view).
     pub fn active_sites(&self) -> &[usize] {
-        &self.core.active_sites
+        &self.core.controller.active_sites
     }
 
     /// Adaptation counters.
     pub fn stats(&self) -> ControllerStats {
-        self.core.stats
+        self.core.controller.stats
+    }
+
+    /// The uplink producer handle: pass this to
+    /// [`apparate_serving::ServingSimulator::run_with_feedback`] so the
+    /// platform streams each batch's profile to the controller.
+    pub fn feedback_sender(&self) -> FeedbackSender<ProfileRecord> {
+        self.core.profile_tx.clone()
+    }
+
+    /// Coordination charges accumulated so far, both directions (§4.5).
+    pub fn overhead_report(&self) -> OverheadReport {
+        self.core.overhead_report()
     }
 }
 
 impl ExitPolicy for ApparatePolicy {
-    fn process_batch(&mut self, batch: &[Request], _batch_start: SimTime) -> BatchOutcome {
+    fn process_batch(&mut self, batch: &[Request], batch_start: SimTime) -> BatchOutcome {
         let samples: Vec<SampleSemantics> = batch.iter().map(|r| r.semantics).collect();
-        let (gpu_time, per_request) = self.core.step(&samples);
+        let (gpu_time, per_request, profile) = self.core.step(&samples, batch_start);
         BatchOutcome {
             gpu_time,
             per_request,
+            profile: Some(profile),
         }
     }
 
@@ -384,19 +591,30 @@ impl ExitPolicy for ApparatePolicy {
 /// (generative ramps reuse the decoder head at every block, §3.1, so the
 /// placement search space is uniform to begin with).
 pub struct ApparateTokenPolicy {
-    core: ControllerCore,
+    core: CoordinatedCore,
     name: String,
 }
 
 impl ApparateTokenPolicy {
-    /// Deploy the token controller over a prepared ramp deployment.
+    /// Deploy the token controller over a prepared ramp deployment with the
+    /// paper's default PCIe link cost.
     pub fn new(
         deployment: RampDeployment,
         config: ApparateConfig,
         reference_batch: u32,
     ) -> ApparateTokenPolicy {
+        ApparateTokenPolicy::with_link(deployment, config, reference_batch, LinkCost::default())
+    }
+
+    /// Deploy the token controller with an explicit link cost model.
+    pub fn with_link(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        link: LinkCost,
+    ) -> ApparateTokenPolicy {
         ApparateTokenPolicy {
-            core: ControllerCore::new(deployment, config, reference_batch, false),
+            core: CoordinatedCore::new(deployment, config, reference_batch, false, link),
             name: "apparate".to_string(),
         }
     }
@@ -409,26 +627,54 @@ impl ApparateTokenPolicy {
         reference_batch: u32,
         calibration: &[SampleSemantics],
     ) -> ApparateTokenPolicy {
-        let mut policy = ApparateTokenPolicy::new(deployment, config, reference_batch);
+        ApparateTokenPolicy::warm_started_with_link(
+            deployment,
+            config,
+            reference_batch,
+            calibration,
+            LinkCost::default(),
+        )
+    }
+
+    /// Warm-started token controller with an explicit link cost model.
+    pub fn warm_started_with_link(
+        deployment: RampDeployment,
+        config: ApparateConfig,
+        reference_batch: u32,
+        calibration: &[SampleSemantics],
+        link: LinkCost,
+    ) -> ApparateTokenPolicy {
+        let mut policy = ApparateTokenPolicy::with_link(deployment, config, reference_batch, link);
         policy.core.warm_start(calibration);
         policy
     }
 
-    /// Current per-ramp thresholds.
+    /// Current per-ramp thresholds as deployed on the GPU.
     pub fn thresholds(&self) -> &[f64] {
-        &self.core.thresholds
+        &self.core.gpu.thresholds
     }
 
     /// Adaptation counters.
     pub fn stats(&self) -> ControllerStats {
-        self.core.stats
+        self.core.controller.stats
+    }
+
+    /// The uplink producer handle for
+    /// [`apparate_serving::GenerativeSimulator::run_with_feedback`].
+    pub fn feedback_sender(&self) -> FeedbackSender<ProfileRecord> {
+        self.core.profile_tx.clone()
+    }
+
+    /// Coordination charges accumulated so far, both directions (§4.5).
+    pub fn overhead_report(&self) -> OverheadReport {
+        self.core.overhead_report()
     }
 }
 
 impl TokenPolicy for ApparateTokenPolicy {
-    fn process_step(&mut self, slots: &[TokenSlot], _step_start: SimTime) -> StepOutcome {
+    fn process_step(&mut self, slots: &[TokenSlot], step_start: SimTime) -> StepOutcome {
         let samples: Vec<SampleSemantics> = slots.iter().map(|s| s.semantics).collect();
-        let (_full_pass, outcomes) = self.core.step(&samples);
+        let (_full_pass, outcomes, profile) = self.core.step(&samples, step_start);
         let per_token: Vec<apparate_serving::TokenOutcome> = outcomes
             .into_iter()
             .map(|o| apparate_serving::TokenOutcome {
@@ -442,6 +688,7 @@ impl TokenPolicy for ApparateTokenPolicy {
             // released; the non-exited suffix overlaps subsequent steps.
             gpu_time: apparate_baselines::step_gpu_time(&per_token),
             per_token,
+            profile: Some(profile),
         }
     }
 
@@ -479,17 +726,38 @@ mod tests {
         )
     }
 
+    /// Serve one batch the way the platform does: process it at `now`, then
+    /// stream its profile over the uplink at batch completion. Returns the
+    /// outcome and the batch completion time (serial GPU: the next batch
+    /// starts there).
+    fn drive(
+        policy: &mut ApparatePolicy,
+        batch: &[Request],
+        now: SimTime,
+    ) -> (BatchOutcome, SimTime) {
+        let sender = policy.feedback_sender();
+        let out = policy.process_batch(batch, now);
+        let completed = now + out.gpu_time;
+        if let Some(profile) = out.profile.clone() {
+            let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+            sender.send(profile.into_record(completed, ids), completed);
+        }
+        (out, completed)
+    }
+
     #[test]
     fn controller_starts_conservative_then_tunes_up() {
         let mut policy = ApparatePolicy::new(deployment(3), ApparateConfig::default(), 4);
         assert!(policy.thresholds().iter().all(|&t| t == 0.0));
         // Feed easy traffic in batches of 8 until past the first tuning round.
         let mut exited_late = 0usize;
+        let mut now = SimTime::ZERO;
         for round in 0..40u64 {
             let batch: Vec<Request> = (0..8)
                 .map(|i| request(round * 8 + i, 0.15 + 0.1 * ((i % 4) as f64 / 4.0)))
                 .collect();
-            let out = policy.process_batch(&batch, SimTime::ZERO);
+            let (out, completed) = drive(&mut policy, &batch, now);
+            now = completed;
             if round >= 10 {
                 exited_late += out
                     .per_request
@@ -500,8 +768,12 @@ mod tests {
         }
         assert!(policy.stats().tuning_rounds >= 1, "tuning should have run");
         assert!(
+            policy.stats().updates_sent >= 1,
+            "the tuned thresholds must have been shipped over the downlink"
+        );
+        assert!(
             policy.thresholds().iter().any(|&t| t > 0.0),
-            "tuning should open at least one ramp"
+            "the tuned thresholds should have reached the GPU"
         );
         assert!(exited_late > 0, "easy inputs should exit after tuning");
     }
@@ -510,11 +782,13 @@ mod tests {
     fn controller_runs_ramp_adjustment_rounds() {
         let config = ApparateConfig::default();
         let mut policy = ApparatePolicy::new(deployment(9), config, 4);
+        let mut now = SimTime::ZERO;
         for round in 0..150u64 {
             let batch: Vec<Request> = (0..8)
                 .map(|i| request(round * 8 + i, 0.3 + 0.2 * ((i % 5) as f64 / 5.0)))
                 .collect();
-            policy.process_batch(&batch, SimTime::ZERO);
+            let (_, completed) = drive(&mut policy, &batch, now);
+            now = completed;
         }
         // 1 200 requests with a 128-request adjustment period (each tuning
         // round restarts the window): several rounds must have run.
@@ -529,13 +803,15 @@ mod tests {
         let mut policy = ApparatePolicy::new(deployment(11), ApparateConfig::default(), 4);
         let mut correct = 0usize;
         let mut total = 0usize;
+        let mut now = SimTime::ZERO;
         for round in 0..150u64 {
             // Difficulty drifts upward mid-run (scene change).
             let base = if round < 75 { 0.2 } else { 0.45 };
             let batch: Vec<Request> = (0..8)
                 .map(|i| request(round * 8 + i, base + 0.05 * ((i % 3) as f64)))
                 .collect();
-            let out = policy.process_batch(&batch, SimTime::ZERO);
+            let (out, completed) = drive(&mut policy, &batch, now);
+            now = completed;
             correct += out.per_request.iter().filter(|o| o.correct).count();
             total += out.per_request.len();
         }
@@ -544,5 +820,85 @@ mod tests {
             accuracy >= 0.97,
             "released accuracy {accuracy} should track the 1 % constraint"
         );
+    }
+
+    #[test]
+    fn tuning_never_uses_observations_delivered_after_decision_time() {
+        // A pathologically slow uplink: records take 10 s to arrive. The
+        // controller keeps deciding at batch boundaries but must see nothing,
+        // so thresholds stay at zero on both halves — even though, with a fast
+        // link, the same traffic tunes within 40 rounds (see
+        // controller_starts_conservative_then_tunes_up).
+        let slow = LinkCost {
+            fixed_us: 10_000_000.0,
+            per_kib_us: 0.0,
+        };
+        let mut policy =
+            ApparatePolicy::with_link(deployment(3), ApparateConfig::default(), 4, slow);
+        let mut now = SimTime::ZERO;
+        for round in 0..40u64 {
+            let batch: Vec<Request> = (0..8)
+                .map(|i| request(round * 8 + i, 0.15 + 0.1 * ((i % 4) as f64 / 4.0)))
+                .collect();
+            let (_, completed) = drive(&mut policy, &batch, now);
+            now = completed;
+        }
+        assert_eq!(
+            policy.stats().records_ingested,
+            0,
+            "records still on the wire must be invisible to the controller"
+        );
+        assert_eq!(policy.stats().tuning_rounds, 0);
+        assert!(policy.thresholds().iter().all(|&t| t == 0.0));
+        // Once simulated time passes the delivery horizon, the backlog lands
+        // and the controller acts on it — proving the records were queued, not
+        // lost, and that delivery time alone gated their visibility.
+        let batch: Vec<Request> = (0..8).map(|i| request(10_000 + i, 0.2)).collect();
+        let late = now + SimDuration::from_secs(11);
+        drive(&mut policy, &batch, late);
+        assert!(policy.stats().records_ingested > 0);
+        assert!(policy.stats().tuning_rounds >= 1);
+    }
+
+    #[test]
+    fn threshold_updates_take_effect_only_after_downlink_delivery() {
+        // A link slow enough (0.5 s each way) that the GPU keeps serving with
+        // zero thresholds for many batches after the controller has tuned.
+        let slow = LinkCost {
+            fixed_us: 500_000.0,
+            per_kib_us: 0.0,
+        };
+        let mut policy =
+            ApparatePolicy::with_link(deployment(3), ApparateConfig::default(), 4, slow);
+        let mut now = SimTime::ZERO;
+        let mut tuned_at: Option<SimTime> = None;
+        for round in 0..200u64 {
+            let batch: Vec<Request> = (0..8)
+                .map(|i| request(round * 8 + i, 0.15 + 0.1 * ((i % 4) as f64 / 4.0)))
+                .collect();
+            let before_rounds = policy.stats().tuning_rounds;
+            let (_, completed) = drive(&mut policy, &batch, now);
+            if tuned_at.is_none() && policy.stats().tuning_rounds > before_rounds {
+                tuned_at = Some(now);
+                // The controller has decided, but the GPU copy is still zero:
+                // the update is on the wire for the next 0.5 s.
+                assert!(
+                    policy.thresholds().iter().all(|&t| t == 0.0),
+                    "GPU thresholds must not change before downlink delivery"
+                );
+            }
+            if let Some(t0) = tuned_at {
+                if policy.thresholds().iter().any(|&t| t > 0.0) {
+                    let lag = now.saturating_since(t0);
+                    assert!(
+                        lag >= SimDuration::from_micros(500_000),
+                        "thresholds applied after {lag:?}, before the 0.5 s downlink latency"
+                    );
+                    return;
+                }
+            }
+            now = completed;
+        }
+        panic!("tuned thresholds never reached the GPU");
     }
 }

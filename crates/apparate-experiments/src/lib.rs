@@ -24,9 +24,10 @@ pub mod report;
 pub mod scenario;
 
 pub use controller::{ApparatePolicy, ApparateTokenPolicy, ControllerStats};
-pub use report::{ComparisonTable, PolicyRow};
+pub use report::{ComparisonTable, OverheadRow, OverheadTable, PolicyRow};
 pub use scenario::{
-    cv_scenario, generative_scenario, nlp_scenario, run_classification, run_generative,
-    run_scenarios, scenario_config, ClassificationScenario, GenerativeScenario, ReproSizes,
-    ScenarioSelect, TraceKind, STATIC_THRESHOLD,
+    cv_scenario, generative_scenario, nlp_scenario, run_classification, run_classification_full,
+    run_classification_overhead, run_generative, run_generative_full, run_generative_overhead,
+    run_overhead, run_scenarios, run_scenarios_full, scenario_config, ClassificationScenario,
+    GenerativeScenario, ReproSizes, ScenarioRun, ScenarioSelect, TraceKind, STATIC_THRESHOLD,
 };

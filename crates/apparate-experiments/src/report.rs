@@ -8,6 +8,7 @@
 //! summaries always format to the same bytes — which is what the repro
 //! binary's same-seed ⇒ same-table guarantee rests on.
 
+use apparate_exec::OverheadReport;
 use apparate_serving::{LatencySummary, LatencyWins};
 
 /// One policy's row: its summary and its wins against the vanilla row.
@@ -104,6 +105,86 @@ fn unit(label: &str) -> &'static str {
     match label {
         "tpt" => "ms/tok",
         _ => "ms",
+    }
+}
+
+/// One scenario's coordination charges (the Apparate run's GPU ↔ controller
+/// link traffic).
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Scenario identifier, e.g. `"cv/resnet50/urban-night"`.
+    pub scenario: String,
+    /// Requests (or tokens) the Apparate policy served.
+    pub requests: u64,
+    /// Link charges, both directions.
+    pub report: OverheadReport,
+}
+
+/// The §4.5-style coordination-overhead table: per scenario, the messages and
+/// bytes exchanged in each direction and the coordination latency paid.
+#[derive(Debug, Clone)]
+pub struct OverheadTable {
+    /// One row per scenario, in run order.
+    pub rows: Vec<OverheadRow>,
+}
+
+impl OverheadTable {
+    /// Build a table from per-scenario rows.
+    pub fn new(rows: Vec<OverheadRow>) -> OverheadTable {
+        OverheadTable { rows }
+    }
+
+    /// The row for a scenario, if present.
+    pub fn row(&self, scenario: &str) -> Option<&OverheadRow> {
+        self.rows.iter().find(|r| r.scenario == scenario)
+    }
+
+    /// Mean per-message coordination latency across every row (ms); the §4.5
+    /// headline number (~0.5 ms per message).
+    pub fn mean_latency_ms(&self) -> f64 {
+        let messages: u64 = self.rows.iter().map(|r| r.report.total_messages()).sum();
+        if messages == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.report.total_latency().as_millis_f64())
+            .sum();
+        total / messages as f64
+    }
+
+    /// Render the table as fixed-width text (deterministic, like
+    /// [`ComparisonTable::render`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let title = "== coordination overhead (§4.5) ".to_string();
+        out.push_str(&title);
+        out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<35} {:>8} {:>9} {:>8} {:>9} {:>8} {:>9}\n",
+            "scenario", "up msgs", "up KiB", "dn msgs", "dn KiB", "ms/msg", "total ms",
+        ));
+        for row in &self.rows {
+            let up = &row.report.uplink;
+            let down = &row.report.downlink;
+            out.push_str(&format!(
+                "{:<35} {:>8} {:>9.1} {:>8} {:>9.1} {:>8.3} {:>9.1}\n",
+                row.scenario,
+                up.messages,
+                up.bytes as f64 / 1024.0,
+                down.messages,
+                down.bytes as f64 / 1024.0,
+                if row.report.total_messages() == 0 {
+                    0.0
+                } else {
+                    row.report.total_latency().as_millis_f64() / row.report.total_messages() as f64
+                },
+                row.report.total_latency().as_millis_f64(),
+            ));
+        }
+        out
     }
 }
 

@@ -11,8 +11,9 @@
 //! ramp exits (while parallel-decoding the remaining layers, §3.4), FREE uses
 //! one static ramp.
 
+use crate::platform::BatchProfile;
 use crate::request::Request;
-use apparate_exec::SampleSemantics;
+use apparate_exec::{FeedbackSender, LinkStats, ProfileRecord, SampleSemantics};
 use apparate_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -46,6 +47,9 @@ pub struct StepOutcome {
     pub gpu_time: SimDuration,
     /// Per-token outcomes, parallel to the slots passed in.
     pub per_token: Vec<TokenOutcome>,
+    /// Profiling data for the policy's controller, if it has one; published by
+    /// the decode loop on the feedback link when the step completes.
+    pub profile: Option<BatchProfile>,
 }
 
 /// Policy deciding token release times within each decode step.
@@ -94,6 +98,7 @@ where
                     correct: true,
                 })
                 .collect(),
+            profile: None,
         }
     }
 
@@ -133,6 +138,9 @@ pub struct GenerativeOutcome {
     pub gpu_busy: SimDuration,
     /// Decode-step batch sizes.
     pub batch_sizes: Vec<u32>,
+    /// GPU → controller profiling-stream statistics, when the run published
+    /// feedback (one [`ProfileRecord`] per decode step); `None` otherwise.
+    pub feedback: Option<LinkStats>,
 }
 
 impl GenerativeOutcome {
@@ -217,12 +225,27 @@ impl GenerativeSimulator {
         GenerativeSimulator { config }
     }
 
-    /// Run the generative workload.
+    /// Run the generative workload. No profiling feedback is published; see
+    /// [`GenerativeSimulator::run_with_feedback`].
     pub fn run(
         &self,
         requests: &[Request],
         semantics: &dyn TokenSemantics,
         policy: &mut dyn TokenPolicy,
+    ) -> GenerativeOutcome {
+        self.run_with_feedback(requests, semantics, policy, None)
+    }
+
+    /// Run the generative workload, publishing one [`ProfileRecord`] per
+    /// decode step on `feedback` when the step completes (the §3 profiling
+    /// stream, at token granularity). Policies that return no profile publish
+    /// nothing.
+    pub fn run_with_feedback(
+        &self,
+        requests: &[Request],
+        semantics: &dyn TokenSemantics,
+        policy: &mut dyn TokenPolicy,
+        feedback: Option<&FeedbackSender<ProfileRecord>>,
     ) -> GenerativeOutcome {
         let mut pending: VecDeque<&Request> = {
             let mut sorted: Vec<&Request> = requests.iter().collect();
@@ -275,6 +298,11 @@ impl GenerativeSimulator {
             batch_sizes.push(slots.len() as u32);
             let outcome = policy.process_step(&slots, now);
             debug_assert_eq!(outcome.per_token.len(), slots.len());
+            if let (Some(sender), Some(profile)) = (feedback, outcome.profile) {
+                let completed_at = now + outcome.gpu_time;
+                let ids: Vec<u64> = slots.iter().map(|s| s.request_id).collect();
+                sender.send(profile.into_record(completed_at, ids), completed_at);
+            }
             gpu_busy += outcome.gpu_time;
             for (seq, out) in active.iter_mut().zip(outcome.per_token.iter()) {
                 let released = now + out.release_offset;
@@ -305,6 +333,7 @@ impl GenerativeSimulator {
             makespan: now - first_arrival,
             gpu_busy,
             batch_sizes,
+            feedback: feedback.map(|sender| sender.stats()),
         }
     }
 }

@@ -30,8 +30,8 @@ pub use generative::{
 };
 pub use metrics::{latency_cdf, tpt_cdf, LatencySummary, LatencyWins};
 pub use platform::{
-    BatchOutcome, ExitPolicy, RequestOutcome, ServingConfig, ServingOutcome, ServingSimulator,
-    VanillaPolicy,
+    BatchOutcome, BatchProfile, ExitPolicy, RequestOutcome, ServingConfig, ServingOutcome,
+    ServingSimulator, VanillaPolicy,
 };
 pub use request::{Request, RequestRecord};
 pub use traces::ArrivalTrace;

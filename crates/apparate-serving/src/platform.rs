@@ -12,10 +12,42 @@
 use crate::batching::{BatchDecision, BatchingPolicy};
 use crate::request::{Request, RequestRecord};
 use crate::traces::ArrivalTrace;
-use apparate_exec::SampleSemantics;
+use apparate_exec::{FeedbackSender, LinkStats, ProfileRecord, RampObservation, SampleSemantics};
 use apparate_sim::{EventQueue, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Per-batch profiling data a policy wants streamed to its controller: what
+/// every active ramp observed for every request, plus the release decisions.
+/// The platform stamps it with completion time and request ids and publishes
+/// it on the GPU → controller feedback link (§3's non-blocking profiling
+/// stream); policies without a controller return `None` and nothing is sent.
+#[derive(Debug, Clone, Default)]
+pub struct BatchProfile {
+    /// Per-request, per-active-ramp observations (request-major).
+    pub observations: Vec<Vec<RampObservation>>,
+    /// Ramp index each request's result exited at, parallel to `observations`.
+    pub exits: Vec<Option<usize>>,
+    /// Whether each released result matched the original model.
+    pub corrects: Vec<bool>,
+    /// Configuration epoch the GPU was running when it produced the batch.
+    pub config_epoch: u64,
+}
+
+impl BatchProfile {
+    /// Stamp the profile into a wire-ready [`ProfileRecord`].
+    pub fn into_record(self, completed_at: SimTime, request_ids: Vec<u64>) -> ProfileRecord {
+        ProfileRecord {
+            completed_at,
+            batch_size: request_ids.len() as u32,
+            observations: self.observations,
+            request_ids,
+            exits: self.exits,
+            corrects: self.corrects,
+            config_epoch: self.config_epoch,
+        }
+    }
+}
 
 /// Outcome of processing one batch, as reported by an [`ExitPolicy`].
 #[derive(Debug, Clone)]
@@ -24,6 +56,9 @@ pub struct BatchOutcome {
     pub gpu_time: SimDuration,
     /// Per-request outcomes, parallel to the batch slice passed in.
     pub per_request: Vec<RequestOutcome>,
+    /// Profiling data for the policy's controller, if it has one; published by
+    /// the platform on the feedback link when the batch completes.
+    pub profile: Option<BatchProfile>,
 }
 
 /// Outcome for a single request within a batch.
@@ -89,6 +124,7 @@ where
                     correct: true,
                 })
                 .collect(),
+            profile: None,
         }
     }
 
@@ -138,6 +174,9 @@ pub struct ServingOutcome {
     pub gpu_busy: SimDuration,
     /// Wall-clock span from first arrival to last completion.
     pub makespan: SimDuration,
+    /// GPU → controller profiling-stream statistics, when the run published
+    /// feedback (one [`ProfileRecord`] per batch); `None` otherwise.
+    pub feedback: Option<LinkStats>,
 }
 
 impl ServingOutcome {
@@ -216,13 +255,28 @@ impl ServingSimulator {
 
     /// Run the full trace through the platform with the given exit policy and
     /// batch-time estimator (used by SLO-aware batching decisions; usually the
-    /// same function the policy itself uses for GPU time).
+    /// same function the policy itself uses for GPU time). No profiling
+    /// feedback is published; see [`ServingSimulator::run_with_feedback`].
     pub fn run(
         &self,
         trace: &ArrivalTrace,
         samples: &[SampleSemantics],
         policy: &mut dyn ExitPolicy,
         estimate_batch_time: &dyn Fn(u32) -> SimDuration,
+    ) -> ServingOutcome {
+        self.run_with_feedback(trace, samples, policy, estimate_batch_time, None)
+    }
+
+    /// Run the full trace, publishing one [`ProfileRecord`] per launched batch
+    /// on `feedback` when the batch completes on the GPU (the §3 profiling
+    /// stream). Policies that return no [`BatchProfile`] publish nothing.
+    pub fn run_with_feedback(
+        &self,
+        trace: &ArrivalTrace,
+        samples: &[SampleSemantics],
+        policy: &mut dyn ExitPolicy,
+        estimate_batch_time: &dyn Fn(u32) -> SimDuration,
+        feedback: Option<&FeedbackSender<ProfileRecord>>,
     ) -> ServingOutcome {
         assert_eq!(
             trace.len(),
@@ -275,6 +329,15 @@ impl ServingSimulator {
                     let batch: Vec<Request> = queue.drain(..size as usize).collect();
                     let outcome = policy.process_batch(&batch, now);
                     debug_assert_eq!(outcome.per_request.len(), batch.len());
+                    if let (Some(sender), Some(profile)) = (feedback, outcome.profile) {
+                        // The GPU streams the batch's profiling data the
+                        // moment the batch completes, non-blocking for
+                        // serving; the controller sees it one link latency
+                        // later (§3, §4.5).
+                        let completed_at = now + outcome.gpu_time;
+                        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+                        sender.send(profile.into_record(completed_at, ids), completed_at);
+                    }
                     batch_sizes.push(size);
                     total_gpu_busy += outcome.gpu_time;
                     for (req, out) in batch.iter().zip(outcome.per_request.iter()) {
@@ -308,6 +371,7 @@ impl ServingSimulator {
             batch_sizes,
             gpu_busy: total_gpu_busy,
             makespan: last_completion - first_arrival,
+            feedback: feedback.map(|sender| sender.stats()),
         }
     }
 }

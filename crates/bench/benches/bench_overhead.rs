@@ -1,0 +1,10 @@
+//! GPU ↔ controller coordination path: the feedback link and the
+//! controller-in-the-loop serving pass (§4.5).
+//!
+//! Run via `cargo bench -p apparate-bench --bench bench_overhead -- --quick`
+//! (`--smoke`, `--seed N` also accepted); the suite itself lives in
+//! `apparate_bench::suites`, shared with the `bench` binary.
+
+fn main() {
+    apparate_bench::bench_main("overhead");
+}

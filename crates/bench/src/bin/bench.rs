@@ -136,7 +136,31 @@ fn main() {
     print!("{}", render_table(&reports));
 
     if let Some(path) = &args.out {
-        let text = render_json_lines(args.seed, args.mode.name(), &reports);
+        let mut text = render_json_lines(args.seed, args.mode.name(), &reports);
+        if selected.iter().any(|s| s == "overhead") {
+            // The §4.5 simulated link charges ride along with the wall-time
+            // trajectory so CI can fence the coordination-cost envelope
+            // (mean per-message latency ~0.5 ms) without re-running repro.
+            let table = suites::overhead_link_summary(args.seed, args.mode.config().workload_scale);
+            let (messages, bytes): (u64, u64) = table.rows.iter().fold((0, 0), |(m, b), row| {
+                (
+                    m + row.report.total_messages(),
+                    b + row.report.total_bytes(),
+                )
+            });
+            text.push_str(&format!(
+                concat!(
+                    "{{\"schema\":\"apparate-bench/overhead-link/v1\",\"seed\":{},",
+                    "\"scenarios\":{},\"messages\":{},\"bytes\":{},",
+                    "\"mean_link_latency_ms\":{:.4}}}\n"
+                ),
+                args.seed,
+                table.rows.len(),
+                messages,
+                bytes,
+                table.mean_latency_ms(),
+            ));
+        }
         if let Err(error) = std::fs::write(path, text) {
             eprintln!("bench: failed writing {path}: {error}");
             std::process::exit(1);

@@ -1,4 +1,4 @@
-//! The seven benchmark suites, measuring the workspace's hot paths:
+//! The eight benchmark suites, measuring the workspace's hot paths:
 //!
 //! | suite         | what it measures                                         |
 //! |---------------|----------------------------------------------------------|
@@ -9,6 +9,7 @@
 //! | `generative`  | continuous-batching token policies (`apparate-baselines`)|
 //! | `sensitivity` | accuracy/ramp-budget sweep points                        |
 //! | `e2e`         | repro quick-run scenarios (`apparate-experiments`)       |
+//! | `overhead`    | GPU↔controller feedback link + controller-in-the-loop    |
 //!
 //! Every suite is a plain function from a [`BenchContext`] to a list of
 //! [`BenchReport`]s, registered in [`SUITES`]. Fixtures are built once per
@@ -72,6 +73,7 @@ pub const SUITES: &[(&str, SuiteFn)] = &[
     ("generative", generative),
     ("sensitivity", sensitivity),
     ("e2e", e2e),
+    ("overhead", overhead),
 ];
 
 /// Names of all registered suites, in run order.
@@ -519,12 +521,99 @@ fn e2e(ctx: &BenchContext) -> Vec<BenchReport> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// overhead — the GPU ↔ controller coordination path (§4.5)
+// ---------------------------------------------------------------------------
+
+/// The simulated link charges of one controller-in-the-loop pass over the CV,
+/// NLP and generative workloads at bench sizes scaled by `workload_scale`
+/// (matching [`BenchContext::scaled`]). The `bench` binary appends this to
+/// `BENCH_apparate.json` so CI can watch the §4.5 envelope (mean per-message
+/// latency ~0.5 ms) alongside the wall-time trajectory.
+pub fn overhead_link_summary(
+    seed: u64,
+    workload_scale: f64,
+) -> apparate_experiments::OverheadTable {
+    let scaled = |n: usize| ((n as f64 * workload_scale).round() as usize).max(4);
+    let base = ReproSizes::bench();
+    let sizes = ReproSizes {
+        cv_frames: scaled(base.cv_frames),
+        nlp_requests: scaled(base.nlp_requests),
+        gen_requests: scaled(base.gen_requests),
+    };
+    apparate_experiments::run_overhead(seed, sizes, ScenarioSelect::All)
+}
+
+fn overhead(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "overhead";
+    use apparate_exec::{feedback_link, LinkCost, ProfileRecord, RampObservation, ThresholdUpdate};
+    use apparate_sim::SimTime;
+
+    // Link micro-fixtures: a paper-scale batch profile (~1 KB) and a
+    // ramp-definition update (~10 KB per ramp).
+    let record = |i: u64| ProfileRecord {
+        completed_at: SimTime::from_micros(i * 100),
+        batch_size: 8,
+        observations: vec![
+            vec![
+                RampObservation {
+                    entropy: 0.2,
+                    agrees: true
+                };
+                6
+            ];
+            8
+        ],
+        request_ids: (i * 8..i * 8 + 8).collect(),
+        exits: vec![Some(2); 8],
+        corrects: vec![true; 8],
+        config_epoch: 0,
+    };
+    let update = |i: u64| ThresholdUpdate {
+        issued_at: SimTime::from_micros(i * 100),
+        config_epoch: i,
+        thresholds: vec![0.3; 6],
+        ramps: None,
+    };
+
+    // Controller-in-the-loop fixture: the NLP scenario's Apparate policy
+    // alone, served with the charged link (isolates the coordination path
+    // from the baseline family the e2e suite already measures).
+    let nlp = apparate_experiments::nlp_scenario(ctx.seed, ctx.scaled(1_200));
+
+    vec![
+        ctx.bench(SUITE, "feedback_link/profile-stream-256", || {
+            let (tx, mut rx) = feedback_link(LinkCost::default());
+            for i in 0..256u64 {
+                let rec = record(i);
+                let at = rec.completed_at;
+                tx.send(rec, at);
+            }
+            rx.poll(SimTime::from_secs(3600)).len()
+        }),
+        ctx.bench(SUITE, "feedback_link/threshold-updates-64", || {
+            let (tx, mut rx) = feedback_link(LinkCost::default());
+            for i in 0..64u64 {
+                let upd = update(i);
+                let at = upd.issued_at;
+                tx.send(upd, at);
+            }
+            rx.poll(SimTime::from_secs(3600)).len()
+        }),
+        ctx.bench(SUITE, "controller_in_loop/nlp-apparate", || {
+            apparate_experiments::run_classification_overhead(&nlp)
+                .report
+                .total_messages()
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn suite_registry_has_the_seven_paper_suites() {
+    fn suite_registry_has_the_eight_suites() {
         assert_eq!(
             suite_names(),
             vec![
@@ -534,8 +623,20 @@ mod tests {
                 "serving",
                 "generative",
                 "sensitivity",
-                "e2e"
+                "e2e",
+                "overhead"
             ]
+        );
+    }
+
+    #[test]
+    fn overhead_link_summary_stays_in_the_paper_envelope() {
+        let table = overhead_link_summary(42, BenchConfig::smoke().workload_scale);
+        assert_eq!(table.rows.len(), 3, "cv, nlp and generative scenarios");
+        let mean = table.mean_latency_ms();
+        assert!(
+            (0.3..=0.7).contains(&mean),
+            "mean per-message link latency {mean} ms outside §4.5's ~0.5 ms"
         );
     }
 

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// All suites the consolidated report must cover, in run order.
-const EXPECTED_SUITES: [&str; 7] = [
+const EXPECTED_SUITES: [&str; 8] = [
     "tuning",
     "adaptation",
     "prep",
@@ -18,6 +18,7 @@ const EXPECTED_SUITES: [&str; 7] = [
     "generative",
     "sensitivity",
     "e2e",
+    "overhead",
 ];
 
 /// Extract the string value of `"key":"…"` from a JSON line written by the
