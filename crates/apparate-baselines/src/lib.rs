@@ -27,6 +27,10 @@
 //!
 //! [`generative`] mirrors the same family for token-level early exits in the
 //! continuous-batching decode loop.
+//!
+//! Entry points: [`prep::deploy_budget_sites`] / [`prep::deploy_all_sites`]
+//! to prepare a ramp deployment, then any of the policy constructors above;
+//! the comparison harness in `apparate-experiments` wires them all together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,6 +16,10 @@
 //! The pieces are deliberately separable: the serving integration that wires
 //! them into a live `ExitPolicy` loop lives in `apparate-experiments`, and the
 //! non-adaptive comparison points live in `apparate-baselines`.
+//!
+//! Entry points: [`greedy_tune`] (Algorithm 1), [`adjust_ramps`]
+//! (Algorithm 2), [`Monitor`] (the feedback windows they consume), and
+//! [`ApparateConfig`] (the two user-facing knobs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

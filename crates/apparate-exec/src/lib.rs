@@ -8,6 +8,10 @@
 //! * [`gpu`] — device memory accounting and speed scaling.
 //! * [`profiler`] — the non-blocking GPU → controller profiling stream with a
 //!   PCIe-like cost model (§4.5 overhead analysis).
+//!
+//! Entry points: [`ExecutionPlan`] (what the GPU runs), [`SemanticsModel`]
+//! (what the ramps observe), [`feedback_link`] (how the halves of §3's
+//! controller loop talk).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,11 +7,11 @@
 //! composes them into a closed loop that runs *against* a serving simulation,
 //! split exactly the way the paper deploys it (§3, §4.5):
 //!
-//! * the **GPU half** ([`GpuHalf`]) executes batches under the thresholds and
+//! * the **GPU half** (`GpuHalf`) executes batches under the thresholds and
 //!   ramp set it currently has deployed, and hands the platform a per-batch
 //!   [`BatchProfile`] which the platform streams over the uplink as a
 //!   [`ProfileRecord`] when the batch completes;
-//! * the **controller half** ([`ControllerHalf`]) runs on the CPU: at each
+//! * the **controller half** (`ControllerHalf`) runs on the CPU: at each
 //!   batch boundary it polls the uplink for records whose simulated delivery
 //!   time has arrived, feeds its monitor, and runs any triggered threshold
 //!   tuning / ramp adjustment; configuration changes are shipped back as
@@ -64,11 +64,18 @@ pub struct ControllerStats {
 /// absorbs generalisation error and drift between retunes.
 const TUNING_SAFETY: f64 = 0.6;
 
-/// Cap on tuned thresholds: an exit is only taken on genuinely confident ramp
-/// output. Uncapped tuning saturates deep-ramp thresholds whenever the window
-/// happens to contain no hard inputs at that depth (censoring), which is
-/// exactly where drift then bites hardest.
+/// Cap on tuned thresholds at the default 1 % accuracy budget: an exit is
+/// only taken on genuinely confident ramp output. Uncapped tuning saturates
+/// deep-ramp thresholds whenever the window happens to contain no hard inputs
+/// at that depth (censoring), which is exactly where drift then bites
+/// hardest. The effective cap scales with the fourth root of the user's
+/// budget relative to 1 % (see `ControllerHalf::tuning_params`): the
+/// confidence bar an exit must clear is part of the same safety margin the
+/// budget buys, which is what makes the Figure 19 sensitivity knob bite.
 const MAX_TUNED_THRESHOLD: f64 = 0.35;
+
+/// The accuracy budget [`MAX_TUNED_THRESHOLD`] is calibrated at.
+const REFERENCE_ACCURACY_BUDGET: f64 = 0.01;
 
 /// The GPU-resident half: executes batches under the configuration it has
 /// *received*, which trails the controller's decisions by the downlink
@@ -181,7 +188,16 @@ impl ControllerHalf {
             accuracy_loss_budget: self.config.accuracy_constraint * TUNING_SAFETY,
             initial_step: self.config.initial_step,
             smallest_step: self.config.smallest_step,
-            max_threshold: MAX_TUNED_THRESHOLD,
+            // Budget-relative confidence cap, ∜-scaled: wrong-exit mass is
+            // strongly super-linear in the entropy bar around the calibrated
+            // 0.35 point, so the bar must move much more slowly than the
+            // budget for realised loss to stay inside the constraint at every
+            // grid point. The upper clamp (0.45) marks where wrong-exit mass
+            // explodes under the synthetic semantics model regardless of
+            // budget; the lower keeps a tiny budget from disabling exits.
+            max_threshold: (MAX_TUNED_THRESHOLD
+                * (self.config.accuracy_constraint / REFERENCE_ACCURACY_BUDGET).powf(0.25))
+            .clamp(0.05, 0.45),
         }
     }
 

@@ -1,0 +1,262 @@
+//! Fleet-level comparison runs: one scenario served by N replicas.
+//!
+//! `apparate-serving::fleet` provides the platform half of scale-out
+//! (sharding, per-replica simulation, outcome pooling); this module supplies
+//! the experiment half: for one classification scenario it builds a fleet of
+//! N identical replicas — **each with its own GPU-half/controller-half pair
+//! over its own charged [`FeedbackSender`](apparate_exec::FeedbackSender) /
+//! [`FeedbackReceiver`](apparate_exec::FeedbackReceiver) link** — and runs
+//! the vanilla, static-EE and Apparate fleets over the *same* shared arrival
+//! trace and the same shards, so the resulting [`ComparisonTable`] is a
+//! fleet-level analogue of the paper's per-replica win tables. Per-replica
+//! coordination charges are summed into one fleet [`OverheadRow`]. Note the
+//! §4.5 bill's shape under sharding: uplink messages track *batches*, so the
+//! fleet-wide count stays roughly constant as N grows (the same stream, cut
+//! into N thinner profiling streams), while downlink updates can *drop* with
+//! N — each controller sees only its shard, so tuning windows fill N× more
+//! slowly and short shards may never trigger a retune after warm-start.
+
+use apparate_baselines::{batch_time_fn, vanilla_policy, RampDeployment, StaticExitPolicy};
+use apparate_core::ApparateConfig;
+use apparate_exec::{LinkStats, OverheadReport};
+use apparate_serving::{
+    ExitPolicy, FleetDispatch, FleetOutcome, LatencySummary, ReplicaFleet, ReplicaServer,
+    TraceShard,
+};
+use apparate_sim::SimDuration;
+
+use crate::controller::ApparatePolicy;
+use crate::report::{ComparisonTable, OverheadRow};
+use crate::scenario::{
+    classification_fixture, scenario_config, ClassificationScenario, STATIC_THRESHOLD,
+};
+
+/// Result of serving one scenario with a fleet of N replicas.
+pub struct FleetRun {
+    /// Base scenario name (without the fleet suffix).
+    pub scenario: String,
+    /// Fleet size.
+    pub replicas: usize,
+    /// Dispatch policy of the front end.
+    pub dispatch: FleetDispatch,
+    /// Fleet-level win table: vanilla | static-ee | apparate over the pooled
+    /// records, wins against the vanilla *fleet* of the same size.
+    pub table: ComparisonTable,
+    /// §4.5 coordination charges summed across the N Apparate controllers.
+    pub overhead: OverheadRow,
+    /// Requests dispatched to each replica (identical across the three
+    /// policy families — sharding depends only on arrivals and dispatch).
+    pub shard_sizes: Vec<usize>,
+}
+
+impl FleetRun {
+    /// The Apparate fleet's win row.
+    pub fn apparate(&self) -> &crate::report::PolicyRow {
+        self.table.row("apparate").expect("apparate fleet row")
+    }
+}
+
+/// Sum one direction's link statistics across replicas.
+fn add_stats(total: &mut LinkStats, part: &LinkStats) {
+    total.messages += part.messages;
+    total.bytes += part.bytes;
+    total.total_latency += part.total_latency;
+}
+
+/// Run the vanilla, static-EE and Apparate fleets of `replicas` replicas over
+/// a classification scenario's shared arrival trace. Every replica runs the
+/// scenario's serving config; each Apparate replica is warm-started on the
+/// shared bootstrap validation split and coordinates over its own link.
+pub fn run_classification_fleet(
+    scenario: &ClassificationScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+) -> FleetRun {
+    run_classification_fleet_with_config(scenario, replicas, dispatch, scenario_config())
+}
+
+/// Like [`run_classification_fleet`], with an explicit controller config.
+pub fn run_classification_fleet_with_config(
+    scenario: &ClassificationScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    config: ApparateConfig,
+) -> FleetRun {
+    let split = scenario.workload.bootstrap_split();
+    let serving_samples = split.serving;
+    let n = serving_samples.len();
+    let (_, trace, dep_budget) = classification_fixture(scenario, &config);
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    let budget_plan = dep_budget.plan.clone();
+    // The dispatcher's per-request service estimate: the batch-1 vanilla
+    // execution time (what a production front end knows about the model).
+    let service_estimate = SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(1));
+    let fleet = ReplicaFleet::new(replicas, dispatch, scenario.serving.clone());
+    // Sharding depends only on arrivals and dispatch, so all three policy
+    // families serve these exact shards.
+    let shards = fleet.shard(&trace, service_estimate);
+
+    let mut summaries: Vec<LatencySummary> = Vec::new();
+
+    // Vanilla fleet.
+    {
+        let mut policies: Vec<_> = (0..replicas)
+            .map(|_| vanilla_policy(&vanilla_plan))
+            .collect();
+        let estimate = batch_time_fn(&vanilla_plan);
+        let servers: Vec<ReplicaServer<'_>> = policies
+            .iter_mut()
+            .map(|p| ReplicaServer {
+                policy: p as &mut dyn ExitPolicy,
+                estimate: &estimate,
+                feedback: None,
+            })
+            .collect();
+        let out = fleet.run_sharded(&shards, serving_samples, servers);
+        summaries.push(out.summary("vanilla"));
+    }
+    // Static-EE fleet (fixed ramps, fixed threshold, no controller).
+    {
+        let mut policies: Vec<_> = (0..replicas)
+            .map(|_| StaticExitPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee"))
+            .collect();
+        let estimate = batch_time_fn(&budget_plan);
+        let servers: Vec<ReplicaServer<'_>> = policies
+            .iter_mut()
+            .map(|p| ReplicaServer {
+                policy: p as &mut dyn ExitPolicy,
+                estimate: &estimate,
+                feedback: None,
+            })
+            .collect();
+        let out = fleet.run_sharded(&shards, serving_samples, servers);
+        summaries.push(out.summary("static-ee"));
+    }
+    // Apparate fleet: one warm-started controller per replica, each over its
+    // own charged link.
+    let (apparate_out, overhead) = apparate_fleet(
+        &fleet,
+        &shards,
+        serving_samples,
+        split.validation,
+        &dep_budget,
+        config,
+        scenario.reference_batch,
+    );
+    summaries.push(apparate_out.summary("apparate"));
+
+    FleetRun {
+        scenario: scenario.name.clone(),
+        replicas,
+        dispatch,
+        table: ComparisonTable::new(
+            format!("{} ×{replicas} ({dispatch})", scenario.name),
+            "latency",
+            summaries,
+        ),
+        overhead: OverheadRow {
+            scenario: format!("{} ×{replicas}", scenario.name),
+            requests: n as u64,
+            report: overhead,
+        },
+        shard_sizes: apparate_out.shard_sizes,
+    }
+}
+
+/// Serve the pre-computed shards with one Apparate controller per replica and
+/// sum the per-replica coordination charges.
+#[allow(clippy::too_many_arguments)]
+fn apparate_fleet(
+    fleet: &ReplicaFleet,
+    shards: &[TraceShard],
+    serving_samples: &[apparate_exec::SampleSemantics],
+    validation: &[apparate_exec::SampleSemantics],
+    dep_budget: &RampDeployment,
+    config: ApparateConfig,
+    reference_batch: u32,
+) -> (FleetOutcome, OverheadReport) {
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    let mut policies: Vec<ApparatePolicy> = (0..fleet.replicas)
+        .map(|_| {
+            ApparatePolicy::warm_started(dep_budget.clone(), config, reference_batch, validation)
+        })
+        .collect();
+    // Same ramp-budget-padded estimator contract as the single-replica run:
+    // the controller may change its ramp set at runtime, but total ramp
+    // overhead never exceeds the user's budget.
+    let estimate = |b: u32| {
+        SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(b) * (1.0 + config.ramp_budget))
+    };
+    let servers: Vec<ReplicaServer<'_>> = policies
+        .iter_mut()
+        .map(|p| {
+            let feedback = Some(p.feedback_sender());
+            ReplicaServer {
+                policy: p as &mut dyn ExitPolicy,
+                estimate: &estimate,
+                feedback,
+            }
+        })
+        .collect();
+    let out = fleet.run_sharded(shards, serving_samples, servers);
+    let mut overhead = OverheadReport::default();
+    for policy in &policies {
+        let report = policy.overhead_report();
+        add_stats(&mut overhead.uplink, &report.uplink);
+        add_stats(&mut overhead.downlink, &report.downlink);
+    }
+    (out, overhead)
+}
+
+/// Render the scale-out summary across fleet sizes: one row per [`FleetRun`],
+/// showing the Apparate fleet's pooled latency, its wins against the vanilla
+/// fleet of the same size, and the summed coordination bill. Deterministic,
+/// like every other table in [`crate::report`].
+pub fn render_fleet_summary(runs: &[FleetRun]) -> String {
+    let mut out = String::new();
+    let title = match runs.first() {
+        Some(run) => format!("== fleet scale-out ({}, {}) ", run.scenario, run.dispatch),
+        None => "== fleet scale-out ".to_string(),
+    };
+    out.push_str(&title);
+    out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>8} {:>13} {:>9} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}\n",
+        "replicas",
+        "shard min/max",
+        "p50 ms",
+        "p95 ms",
+        "win@p50",
+        "win@p95",
+        "acc",
+        "up msgs",
+        "dn msgs",
+        "ms/msg",
+    ));
+    for run in runs {
+        let row = run.apparate();
+        let min = run.shard_sizes.iter().copied().min().unwrap_or(0);
+        let max = run.shard_sizes.iter().copied().max().unwrap_or(0);
+        let report = &run.overhead.report;
+        let ms_per_msg = if report.total_messages() == 0 {
+            0.0
+        } else {
+            report.total_latency().as_millis_f64() / report.total_messages() as f64
+        };
+        out.push_str(&format!(
+            "{:>8} {:>13} {:>9.2} {:>9.2} {:>7.1}% {:>7.1}% {:>7.3} {:>8} {:>8} {:>8.3}\n",
+            run.replicas,
+            format!("{min}/{max}"),
+            row.summary.latency_ms.p50,
+            row.summary.latency_ms.p95,
+            row.wins.p50,
+            row.wins.p95,
+            row.summary.accuracy,
+            report.uplink.messages,
+            report.downlink.messages,
+            ms_per_msg,
+        ));
+    }
+    out
+}

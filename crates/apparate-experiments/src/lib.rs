@@ -10,24 +10,38 @@
 //!   model → execution plan → serving simulation, with Apparate running
 //!   head-to-head against every baseline in `apparate-baselines` under
 //!   identical arrivals and semantics draws.
+//! * [`fleet`] — multi-replica scale-out runs: N replicas behind one
+//!   dispatcher, one warm-started controller per replica over its own
+//!   charged link, fleet-level win tables.
+//! * [`sweep`] — the SLO and accuracy-constraint sensitivity sweeps
+//!   (Figures 17/19) over the grids in [`SensitivityGrid`].
 //! * [`report`] — deterministic paper-style win tables.
 //!
 //! The `repro` binary (`cargo run --release -p apparate-experiments --bin
-//! repro`) runs all three scenarios and prints the comparison tables; the same
-//! seed always produces byte-identical output.
+//! repro`) runs all three scenarios and prints the comparison tables; `repro
+//! --sweep` prints the fleet scale-out tables (1/2/4/8 replicas) and both
+//! sensitivity grids. The same seed always produces byte-identical output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod fleet;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 pub use controller::{ApparatePolicy, ApparateTokenPolicy, ControllerStats};
+pub use fleet::{
+    render_fleet_summary, run_classification_fleet, run_classification_fleet_with_config, FleetRun,
+};
 pub use report::{ComparisonTable, OverheadRow, OverheadTable, PolicyRow};
 pub use scenario::{
-    cv_scenario, generative_scenario, nlp_scenario, run_classification, run_classification_full,
+    cv_scenario, generative_calibration, generative_requests, generative_scenario, nlp_scenario,
+    run_classification, run_classification_duel, run_classification_full,
     run_classification_overhead, run_generative, run_generative_full, run_generative_overhead,
     run_overhead, run_scenarios, run_scenarios_full, scenario_config, ClassificationScenario,
-    GenerativeScenario, ReproSizes, ScenarioRun, ScenarioSelect, TraceKind, STATIC_THRESHOLD,
+    DuelRun, GenerativeScenario, ReproSizes, ScenarioCdfs, ScenarioRun, ScenarioSelect,
+    SensitivityGrid, TraceKind, WorkloadTokens, STATIC_THRESHOLD,
 };
+pub use sweep::{accuracy_sweep, sensitivity_sweeps, slo_sweep, SweepPoint, SweepTable};

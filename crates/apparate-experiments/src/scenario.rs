@@ -15,10 +15,10 @@ use apparate_core::{ApparateConfig, GreedyParams, RampArchitecture};
 use apparate_exec::{ExecutionPlan, OverheadReport, SampleSemantics, SemanticsModel};
 use apparate_model::{zoo, LayerId, ZooModel};
 use apparate_serving::{
-    ArrivalTrace, ContinuousBatchingConfig, GenerativeSimulator, LatencySummary, Request,
-    ServingConfig, ServingSimulator, TokenSemantics, VanillaTokenPolicy,
+    latency_cdf, tpt_cdf, ArrivalTrace, ContinuousBatchingConfig, GenerativeSimulator,
+    LatencySummary, Request, ServingConfig, ServingSimulator, TokenSemantics, VanillaTokenPolicy,
 };
-use apparate_sim::{DeterministicRng, SimDuration};
+use apparate_sim::{Cdf, DeterministicRng, SimDuration};
 use apparate_workload::{
     amazon_reviews, video_workload, AmazonConfig, GenerativeConfig, GenerativeTask,
     GenerativeWorkload, VideoConfig, Workload,
@@ -117,6 +117,15 @@ impl std::str::FromStr for ScenarioSelect {
     }
 }
 
+/// Latency CDFs of the two headline policies, for CDF-style figures
+/// (Figures 2, 4, 14, 16): vanilla serving against the Apparate run.
+pub struct ScenarioCdfs {
+    /// Vanilla serving latency (or TPT) CDF in milliseconds.
+    pub vanilla: Cdf,
+    /// Apparate latency (or TPT) CDF in milliseconds.
+    pub apparate: Cdf,
+}
+
 /// One scenario's full result: the policy comparison table plus the §4.5
 /// coordination-overhead charges of the Apparate run inside it.
 pub struct ScenarioRun {
@@ -124,6 +133,8 @@ pub struct ScenarioRun {
     pub table: ComparisonTable,
     /// GPU ↔ controller link charges of the Apparate policy.
     pub overhead: OverheadRow,
+    /// Vanilla/Apparate latency CDFs (for the examples' CDF dumps).
+    pub cdfs: ScenarioCdfs,
 }
 
 /// Run the selected comparison scenarios at the given sizes and return their
@@ -215,6 +226,69 @@ pub struct ClassificationScenario {
     pub reference_batch: u32,
     /// Experiment seed.
     pub seed: u64,
+}
+
+impl ClassificationScenario {
+    /// The scenario with its mean arrival rate scaled by `factor` — e.g. the
+    /// aggregate stream of `factor` cameras feeding one fleet. This is what
+    /// makes scale-out experiments meaningful: a shared trace heavy enough
+    /// that a single replica queues without bound while N replicas are
+    /// comfortably provisioned.
+    pub fn with_arrival_scale(mut self, factor: f64) -> ClassificationScenario {
+        assert!(factor > 0.0, "arrival scale must be positive");
+        self.trace = match self.trace {
+            TraceKind::FixedRate(hz) => TraceKind::FixedRate(hz * factor),
+            TraceKind::MafLike(hz) => TraceKind::MafLike(hz * factor),
+        };
+        self.name = format!("{} load×{factor}", self.name);
+        self
+    }
+
+    /// The scenario with its SLO scaled by `factor` (the Figure 17 knob):
+    /// 0.5 halves the deadline, 2.0 doubles it. Batching stays SLO-aware, so
+    /// tighter SLOs force smaller batches and stress the latency/throughput
+    /// tension. Panics on a scenario without an SLO — scaling nothing would
+    /// render a fake flat sensitivity grid.
+    pub fn with_slo_scale(mut self, factor: f64) -> ClassificationScenario {
+        assert!(factor > 0.0, "SLO scale must be positive");
+        let slo = self
+            .serving
+            .slo
+            .expect("with_slo_scale requires a scenario with an SLO");
+        let scaled = SimDuration::from_micros_f64(slo.as_micros() as f64 * factor);
+        self.serving.slo = Some(scaled);
+        self.name = format!("{} slo×{factor}", self.name);
+        self
+    }
+}
+
+/// Knob grids for the sensitivity sweeps: the SLO scales of Figure 17 and the
+/// accuracy constraints of Figure 19, applied to one base scenario each.
+#[derive(Debug, Clone)]
+pub struct SensitivityGrid {
+    /// Multipliers applied to the scenario's default SLO.
+    pub slo_scales: Vec<f64>,
+    /// Accuracy-loss budgets handed to the controller (0.01 = 1 %).
+    pub accuracy_constraints: Vec<f64>,
+}
+
+impl SensitivityGrid {
+    /// The paper's grids: SLO from half to double the default (Figure 17),
+    /// accuracy budgets from 0.5 % to 5 % (Figure 19).
+    pub fn paper() -> SensitivityGrid {
+        SensitivityGrid {
+            slo_scales: vec![0.5, 0.75, 1.0, 1.5, 2.0],
+            accuracy_constraints: vec![0.005, 0.01, 0.02, 0.05],
+        }
+    }
+
+    /// A three-point version of each grid for CI smoke runs.
+    pub fn quick() -> SensitivityGrid {
+        SensitivityGrid {
+            slo_scales: vec![0.5, 1.0, 2.0],
+            accuracy_constraints: vec![0.005, 0.01, 0.02],
+        }
+    }
 }
 
 /// A generative comparison scenario.
@@ -309,6 +383,40 @@ pub fn generative_scenario(seed: u64, requests: usize) -> GenerativeScenario {
     }
 }
 
+/// The per-scenario fixtures every classification runner derives from the
+/// experiment seed: the calibrated semantics model, the arrival trace over
+/// the serving split, and Apparate's budgeted ramp deployment. Centralised so
+/// the "identical arrivals, identical semantics draws" guarantee cannot drift
+/// between the full family run, the overhead path, the sensitivity duels and
+/// the fleet runner — they all build from here.
+pub(crate) fn classification_fixture(
+    scenario: &ClassificationScenario,
+    config: &ApparateConfig,
+) -> (SemanticsModel, ArrivalTrace, RampDeployment) {
+    let semantics = SemanticsModel::new(
+        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
+        scenario.model.descriptor.overparameterization,
+    );
+    let split = scenario.workload.bootstrap_split();
+    let n = split.serving.len();
+    let trace = match scenario.trace {
+        TraceKind::FixedRate(hz) => ArrivalTrace::fixed_rate(n, hz),
+        TraceKind::MafLike(hz) => ArrivalTrace::maf_like(
+            n,
+            hz,
+            DeterministicRng::new(scenario.seed).child(0x7A).seed(),
+        ),
+    };
+    let dep_budget = deploy_budget_sites(
+        &scenario.model,
+        &semantics,
+        config,
+        RampArchitecture::Lightweight,
+        split.train.len(),
+    );
+    (semantics, trace, dep_budget)
+}
+
 /// Run the full policy family on a classification scenario.
 pub fn run_classification(scenario: &ClassificationScenario) -> ComparisonTable {
     run_classification_full(scenario).table
@@ -318,30 +426,12 @@ pub fn run_classification(scenario: &ClassificationScenario) -> ComparisonTable 
 /// the Apparate run's coordination charges.
 pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun {
     let config = scenario_config();
-    let semantics = SemanticsModel::new(
-        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
-        scenario.model.descriptor.overparameterization,
-    );
     let split = scenario.workload.bootstrap_split();
     let serving_samples = split.serving;
     let n = serving_samples.len();
-    let trace = match scenario.trace {
-        TraceKind::FixedRate(hz) => ArrivalTrace::fixed_rate(n, hz),
-        TraceKind::MafLike(hz) => ArrivalTrace::maf_like(
-            n,
-            hz,
-            DeterministicRng::new(scenario.seed).child(0x7A).seed(),
-        ),
-    };
+    let (semantics, trace, dep_budget) = classification_fixture(scenario, &config);
     let sim = ServingSimulator::new(scenario.serving.clone());
 
-    let dep_budget = deploy_budget_sites(
-        &scenario.model,
-        &semantics,
-        &config,
-        RampArchitecture::Lightweight,
-        split.train.len(),
-    );
     let dep_all = deploy_all_sites(
         &scenario.model,
         &semantics,
@@ -354,12 +444,13 @@ pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun
 
     let mut summaries = Vec::new();
 
-    {
+    let vanilla_cdf = {
         let mut policy = vanilla_policy(&vanilla_plan);
         let estimate = batch_time_fn(&vanilla_plan);
         let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
         summaries.push(LatencySummary::from_outcome("vanilla", &out));
-    }
+        latency_cdf(&out)
+    };
     {
         let mut policy =
             StaticExitPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee");
@@ -392,7 +483,7 @@ pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun
         let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
         summaries.push(LatencySummary::from_outcome("oneshot-tuned", &out));
     }
-    let (apparate_summary, overhead) = apparate_classification(
+    let (apparate_out, overhead) = apparate_classification(
         scenario,
         config,
         &sim,
@@ -402,7 +493,8 @@ pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun
         &dep_budget,
         &vanilla_plan,
     );
-    summaries.push(apparate_summary);
+    summaries.push(LatencySummary::from_outcome("apparate", &apparate_out));
+    let apparate_cdf = latency_cdf(&apparate_out);
     {
         let sites: Vec<LayerId> = dep_budget.all_sites.iter().map(|s| s.site).collect();
         let mut policy =
@@ -418,6 +510,10 @@ pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun
             scenario: scenario.name.clone(),
             requests: n as u64,
             report: overhead,
+        },
+        cdfs: ScenarioCdfs {
+            vanilla: vanilla_cdf,
+            apparate: apparate_cdf,
         },
     }
 }
@@ -435,7 +531,7 @@ fn apparate_classification(
     validation: &[SampleSemantics],
     dep_budget: &RampDeployment,
     vanilla_plan: &ExecutionPlan,
-) -> (LatencySummary, OverheadReport) {
+) -> (apparate_serving::ServingOutcome, OverheadReport) {
     let mut policy = ApparatePolicy::warm_started(
         dep_budget.clone(),
         config,
@@ -457,38 +553,18 @@ fn apparate_classification(
         &estimate,
         Some(&uplink),
     );
-    (
-        LatencySummary::from_outcome("apparate", &out),
-        policy.overhead_report(),
-    )
+    let overhead = policy.overhead_report();
+    (out, overhead)
 }
 
 /// Run only the Apparate policy on a classification scenario and return its
 /// §4.5 coordination charges (the cheap path behind [`run_overhead`]).
 pub fn run_classification_overhead(scenario: &ClassificationScenario) -> OverheadRow {
     let config = scenario_config();
-    let semantics = SemanticsModel::new(
-        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
-        scenario.model.descriptor.overparameterization,
-    );
     let split = scenario.workload.bootstrap_split();
     let n = split.serving.len();
-    let trace = match scenario.trace {
-        TraceKind::FixedRate(hz) => ArrivalTrace::fixed_rate(n, hz),
-        TraceKind::MafLike(hz) => ArrivalTrace::maf_like(
-            n,
-            hz,
-            DeterministicRng::new(scenario.seed).child(0x7A).seed(),
-        ),
-    };
+    let (_, trace, dep_budget) = classification_fixture(scenario, &config);
     let sim = ServingSimulator::new(scenario.serving.clone());
-    let dep_budget = deploy_budget_sites(
-        &scenario.model,
-        &semantics,
-        &config,
-        RampArchitecture::Lightweight,
-        split.train.len(),
-    );
     let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
     let (_, report) = apparate_classification(
         scenario,
@@ -507,14 +583,103 @@ pub fn run_classification_overhead(scenario: &ClassificationScenario) -> Overhea
     }
 }
 
+/// Result of a vanilla-vs-Apparate duel under an explicit controller
+/// configuration — the cheap runner behind the sensitivity sweeps. The rest
+/// of the baseline family never reads the swept knobs, so it is not simulated
+/// on the grid.
+pub struct DuelRun {
+    /// Vanilla serving under the scenario's (possibly scaled) SLO.
+    pub vanilla: LatencySummary,
+    /// Apparate under the given controller configuration.
+    pub apparate: LatencySummary,
+    /// The Apparate run's §4.5 coordination charges.
+    pub overhead: OverheadReport,
+}
+
+/// Run only vanilla serving and the Apparate controller on a classification
+/// scenario, with an explicit [`ApparateConfig`] (the Figure 17/19 sweeps
+/// vary the SLO on the scenario and the accuracy constraint here).
+pub fn run_classification_duel(
+    scenario: &ClassificationScenario,
+    config: ApparateConfig,
+) -> DuelRun {
+    let split = scenario.workload.bootstrap_split();
+    let serving_samples = split.serving;
+    let (_, trace, dep_budget) = classification_fixture(scenario, &config);
+    let sim = ServingSimulator::new(scenario.serving.clone());
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+
+    let vanilla = {
+        let mut policy = vanilla_policy(&vanilla_plan);
+        let estimate = batch_time_fn(&vanilla_plan);
+        let out = sim.run(&trace, serving_samples, &mut policy, &estimate);
+        LatencySummary::from_outcome("vanilla", &out)
+    };
+    let (out, overhead) = apparate_classification(
+        scenario,
+        config,
+        &sim,
+        &trace,
+        serving_samples,
+        split.validation,
+        &dep_budget,
+        &vanilla_plan,
+    );
+    DuelRun {
+        vanilla,
+        apparate: LatencySummary::from_outcome("apparate", &out),
+        overhead,
+    }
+}
+
 /// Adapter exposing a [`GenerativeWorkload`]'s deterministic token semantics
-/// to the continuous-batching simulator.
-struct WorkloadTokens<'a>(&'a GenerativeWorkload);
+/// to the continuous-batching simulator. Public so examples and external
+/// harnesses drive the *same* token stream the comparison runners do.
+pub struct WorkloadTokens<'a>(pub &'a GenerativeWorkload);
 
 impl TokenSemantics for WorkloadTokens<'_> {
     fn token(&self, request_id: u64, token_index: u32) -> SampleSemantics {
         self.0.token_semantics(request_id, token_index)
     }
+}
+
+/// Offline calibration tokens for warm-starting a token policy: the first
+/// 10 % of the workload's sequences, fully decoded in hindsight (§3.1's
+/// bootstrap, at token granularity). Shared by the comparison runners and
+/// the examples so their warm-starts cannot diverge.
+pub fn generative_calibration(workload: &GenerativeWorkload) -> Vec<SampleSemantics> {
+    let boot = (workload.len() / 10).max(1);
+    workload
+        .sequences()
+        .iter()
+        .take(boot)
+        .flat_map(|spec| {
+            (0..spec.output_tokens).map(|t| workload.token_semantics(spec.request_id, t))
+        })
+        .collect()
+}
+
+/// The scenario's arrival-timed generative requests: Poisson arrivals (seed
+/// child `0x7B`) zipped with the workload's sequence specs.
+pub fn generative_requests(scenario: &GenerativeScenario) -> Vec<Request> {
+    let trace = ArrivalTrace::poisson(
+        scenario.workload.len(),
+        scenario.arrival_rate,
+        DeterministicRng::new(scenario.seed).child(0x7B).seed(),
+    );
+    trace
+        .times()
+        .iter()
+        .zip(scenario.workload.sequences())
+        .map(|(&at, spec)| {
+            Request::generative(
+                spec.request_id,
+                at,
+                scenario.workload.token_semantics(spec.request_id, 0),
+                spec.output_tokens,
+            )
+        })
+        .collect()
 }
 
 /// Run the full policy family on a generative scenario.
@@ -530,24 +695,7 @@ pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
         DeterministicRng::new(scenario.seed).child(0x5E).seed(),
         scenario.model.descriptor.overparameterization,
     );
-    let trace = ArrivalTrace::poisson(
-        scenario.workload.len(),
-        scenario.arrival_rate,
-        DeterministicRng::new(scenario.seed).child(0x7B).seed(),
-    );
-    let requests: Vec<Request> = trace
-        .times()
-        .iter()
-        .zip(scenario.workload.sequences())
-        .map(|(&at, spec)| {
-            Request::generative(
-                spec.request_id,
-                at,
-                scenario.workload.token_semantics(spec.request_id, 0),
-                spec.output_tokens,
-            )
-        })
-        .collect();
+    let requests = generative_requests(scenario);
     let tokens = WorkloadTokens(&scenario.workload);
     let sim = GenerativeSimulator::new(scenario.batching);
 
@@ -570,31 +718,20 @@ pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
     let budget_plan = dep_budget.plan.clone();
     let all_plan = dep_all.plan.clone();
 
-    // Offline calibration tokens for the oneshot baseline: the first 10 % of
-    // sequences, fully decoded in hindsight.
-    let calibration: Vec<SampleSemantics> = {
-        let boot = (scenario.workload.len() / 10).max(1);
-        scenario
-            .workload
-            .sequences()
-            .iter()
-            .take(boot)
-            .flat_map(|spec| {
-                (0..spec.output_tokens)
-                    .map(|t| scenario.workload.token_semantics(spec.request_id, t))
-            })
-            .collect()
-    };
+    // Offline calibration tokens for the oneshot baseline and Apparate's
+    // warm start.
+    let calibration = generative_calibration(&scenario.workload);
 
     let mut summaries = Vec::new();
 
-    {
+    let vanilla_cdf = {
         let mut policy = VanillaTokenPolicy::new(|b| {
             SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(b))
         });
         let out = sim.run(&requests, &tokens, &mut policy);
         summaries.push(LatencySummary::from_generative("vanilla", &out));
-    }
+        tpt_cdf(&out)
+    };
     {
         let mut policy =
             StaticTokenPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee");
@@ -624,7 +761,7 @@ pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
         let out = sim.run(&requests, &tokens, &mut policy);
         summaries.push(LatencySummary::from_generative("oneshot-tuned", &out));
     }
-    let (apparate_summary, overhead) = apparate_generative(
+    let (apparate_out, overhead) = apparate_generative(
         scenario,
         config,
         &sim,
@@ -633,7 +770,8 @@ pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
         &calibration,
         &dep_budget,
     );
-    summaries.push(apparate_summary);
+    summaries.push(LatencySummary::from_generative("apparate", &apparate_out));
+    let apparate_cdf = tpt_cdf(&apparate_out);
     {
         let sites: Vec<LayerId> = dep_budget.all_sites.iter().map(|s| s.site).collect();
         let mut policy =
@@ -648,6 +786,10 @@ pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
             scenario: scenario.name.clone(),
             requests: total_tokens(scenario),
             report: overhead,
+        },
+        cdfs: ScenarioCdfs {
+            vanilla: vanilla_cdf,
+            apparate: apparate_cdf,
         },
     }
 }
@@ -673,7 +815,7 @@ fn apparate_generative(
     tokens: &WorkloadTokens<'_>,
     calibration: &[SampleSemantics],
     dep_budget: &RampDeployment,
-) -> (LatencySummary, OverheadReport) {
+) -> (apparate_serving::GenerativeOutcome, OverheadReport) {
     let mut policy = ApparateTokenPolicy::warm_started(
         dep_budget.clone(),
         config,
@@ -682,10 +824,8 @@ fn apparate_generative(
     );
     let uplink = policy.feedback_sender();
     let out = sim.run_with_feedback(requests, tokens, &mut policy, Some(&uplink));
-    (
-        LatencySummary::from_generative("apparate", &out),
-        policy.overhead_report(),
-    )
+    let overhead = policy.overhead_report();
+    (out, overhead)
 }
 
 /// Run only the Apparate token policy on a generative scenario and return its
@@ -696,24 +836,7 @@ pub fn run_generative_overhead(scenario: &GenerativeScenario) -> OverheadRow {
         DeterministicRng::new(scenario.seed).child(0x5E).seed(),
         scenario.model.descriptor.overparameterization,
     );
-    let trace = ArrivalTrace::poisson(
-        scenario.workload.len(),
-        scenario.arrival_rate,
-        DeterministicRng::new(scenario.seed).child(0x7B).seed(),
-    );
-    let requests: Vec<Request> = trace
-        .times()
-        .iter()
-        .zip(scenario.workload.sequences())
-        .map(|(&at, spec)| {
-            Request::generative(
-                spec.request_id,
-                at,
-                scenario.workload.token_semantics(spec.request_id, 0),
-                spec.output_tokens,
-            )
-        })
-        .collect();
+    let requests = generative_requests(scenario);
     let tokens = WorkloadTokens(&scenario.workload);
     let sim = GenerativeSimulator::new(scenario.batching);
     let dep_budget = deploy_budget_sites(
@@ -723,19 +846,7 @@ pub fn run_generative_overhead(scenario: &GenerativeScenario) -> OverheadRow {
         RampArchitecture::Lightweight,
         0,
     );
-    let calibration: Vec<SampleSemantics> = {
-        let boot = (scenario.workload.len() / 10).max(1);
-        scenario
-            .workload
-            .sequences()
-            .iter()
-            .take(boot)
-            .flat_map(|spec| {
-                (0..spec.output_tokens)
-                    .map(|t| scenario.workload.token_semantics(spec.request_id, t))
-            })
-            .collect()
-    };
+    let calibration = generative_calibration(&scenario.workload);
     let (_, report) = apparate_generative(
         scenario,
         config,

@@ -1,0 +1,176 @@
+//! SLO- and accuracy-constraint sensitivity sweeps (Figures 17 and 19).
+//!
+//! The paper asks two robustness questions of the controller: does the win
+//! survive tighter/looser SLOs (Figure 17, which also stresses SLO-aware
+//! batching), and how does it trade against the user's accuracy budget
+//! (Figure 19)? Each sweep point is a cheap vanilla-vs-Apparate duel
+//! ([`crate::scenario::run_classification_duel`]) over the same scenario with
+//! one knob moved; everything else — seed, arrivals, semantics draws — is
+//! held fixed, so a grid column isolates the knob's effect. The grids
+//! themselves come from [`crate::scenario::SensitivityGrid`].
+
+use apparate_serving::LatencyWins;
+
+use crate::scenario::{
+    cv_scenario, nlp_scenario, run_classification_duel, scenario_config, SensitivityGrid,
+};
+
+/// One sensitivity point: Apparate against vanilla with one knob moved.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable knob setting, e.g. `"slo ×0.5 (37.5 ms)"`.
+    pub label: String,
+    /// Apparate's median latency win against vanilla (%).
+    pub win_p50: f64,
+    /// Apparate's p95 latency win against vanilla (%).
+    pub win_p95: f64,
+    /// Apparate's realised accuracy.
+    pub accuracy: f64,
+    /// Apparate's SLO violation rate.
+    pub slo_violation_rate: f64,
+    /// Vanilla's SLO violation rate at the same knob setting.
+    pub vanilla_slo_violation_rate: f64,
+    /// Apparate's early-exit rate.
+    pub exit_rate: f64,
+}
+
+/// A rendered sensitivity sweep over one knob.
+#[derive(Debug, Clone)]
+pub struct SweepTable {
+    /// Table title, e.g. `"SLO sensitivity (Figure 17)"`.
+    pub title: String,
+    /// One point per knob setting, in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepTable {
+    /// The point with the given label, if present.
+    pub fn point(&self, label: &str) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| p.label == label)
+    }
+
+    /// Render as fixed-width text (deterministic).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let title = format!("== {} ", self.title);
+        out.push_str(&title);
+        out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>8} {:>7} {:>6} {:>10} {:>10}\n",
+            "knob", "win@p50", "win@p95", "acc", "exit%", "slo-viol", "(vanilla)",
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<24} {:>7.1}% {:>7.1}% {:>7.3} {:>6.1} {:>9.1}% {:>9.1}%\n",
+                p.label,
+                p.win_p50,
+                p.win_p95,
+                p.accuracy,
+                p.exit_rate * 100.0,
+                p.slo_violation_rate * 100.0,
+                p.vanilla_slo_violation_rate * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// The SLO sensitivity sweep (Figure 17): the CV scenario with its SLO scaled
+/// by each factor in `scales`, controller config held at the defaults.
+pub fn slo_sweep(seed: u64, frames: usize, scales: &[f64]) -> SweepTable {
+    let points = scales
+        .iter()
+        .map(|&scale| {
+            let scenario = cv_scenario(seed, frames).with_slo_scale(scale);
+            let slo_ms = scenario
+                .serving
+                .slo
+                .map(|slo| slo.as_millis_f64())
+                .unwrap_or(0.0);
+            let duel = run_classification_duel(&scenario, scenario_config());
+            let wins = LatencyWins::of(&duel.vanilla, &duel.apparate);
+            SweepPoint {
+                label: format!("slo ×{scale} ({slo_ms:.1} ms)"),
+                win_p50: wins.p50,
+                win_p95: wins.p95,
+                accuracy: duel.apparate.accuracy,
+                slo_violation_rate: duel.apparate.slo_violation_rate,
+                vanilla_slo_violation_rate: duel.vanilla.slo_violation_rate,
+                exit_rate: duel.apparate.exit_rate,
+            }
+        })
+        .collect();
+    SweepTable {
+        title: "SLO sensitivity (Figure 17)".to_string(),
+        points,
+    }
+}
+
+/// The accuracy-constraint sensitivity sweep (Figure 19): the NLP scenario —
+/// where exits are genuinely accuracy-limited, unlike the high-continuity CV
+/// stream — with the controller's accuracy-loss budget moved through
+/// `constraints`.
+pub fn accuracy_sweep(seed: u64, requests: usize, constraints: &[f64]) -> SweepTable {
+    let points = constraints
+        .iter()
+        .map(|&constraint| {
+            let scenario = nlp_scenario(seed, requests);
+            let config = scenario_config().with_accuracy_constraint(constraint);
+            let duel = run_classification_duel(&scenario, config);
+            let wins = LatencyWins::of(&duel.vanilla, &duel.apparate);
+            SweepPoint {
+                label: format!("acc budget {:.1}%", constraint * 100.0),
+                win_p50: wins.p50,
+                win_p95: wins.p95,
+                accuracy: duel.apparate.accuracy,
+                slo_violation_rate: duel.apparate.slo_violation_rate,
+                vanilla_slo_violation_rate: duel.vanilla.slo_violation_rate,
+                exit_rate: duel.apparate.exit_rate,
+            }
+        })
+        .collect();
+    SweepTable {
+        title: "accuracy-constraint sensitivity (Figure 19)".to_string(),
+        points,
+    }
+}
+
+/// Run both sweeps on the given grid.
+pub fn sensitivity_sweeps(seed: u64, frames: usize, grid: &SensitivityGrid) -> Vec<SweepTable> {
+    vec![
+        slo_sweep(seed, frames, &grid.slo_scales),
+        accuracy_sweep(seed, frames, &grid.accuracy_constraints),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_tables_render_deterministically() {
+        let build = || slo_sweep(42, 1_500, &[0.5, 1.0]).render();
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("slo ×0.5"));
+        assert!(a.contains("slo ×1"));
+    }
+
+    #[test]
+    fn looser_accuracy_budget_never_reduces_exit_aggressiveness() {
+        let table = accuracy_sweep(42, 1_500, &[0.005, 0.05]);
+        let tight = &table.points[0];
+        let loose = &table.points[1];
+        // A 10× larger budget lets the tuner accept at least as many exits.
+        assert!(
+            loose.exit_rate >= tight.exit_rate - 0.02,
+            "loose budget exit rate {} fell below tight {}",
+            loose.exit_rate,
+            tight.exit_rate
+        );
+        // And both must respect their own constraint with margin.
+        assert!(tight.accuracy >= 1.0 - 0.005 - 0.02);
+        assert!(loose.accuracy >= 1.0 - 0.05 - 0.02);
+    }
+}

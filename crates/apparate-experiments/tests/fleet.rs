@@ -1,0 +1,122 @@
+//! Acceptance tests for multi-replica scale-out: fleet runs must be
+//! deterministic, dispatch must respect its invariants, and scale-out must
+//! actually relieve an overloaded shared stream.
+
+use apparate_experiments::{cv_scenario, run_classification_fleet, FleetRun};
+use apparate_serving::FleetDispatch;
+
+fn fleet(replicas: usize) -> FleetRun {
+    run_classification_fleet(
+        &cv_scenario(42, 2_000),
+        replicas,
+        FleetDispatch::LeastLoaded,
+    )
+}
+
+#[test]
+fn same_seed_produces_identical_fleet_tables() {
+    let a = fleet(4);
+    let b = fleet(4);
+    assert_eq!(
+        a.table.render(),
+        b.table.render(),
+        "fleet tables must be byte-identical per seed"
+    );
+    assert_eq!(a.shard_sizes, b.shard_sizes);
+    // The N controllers' summed coordination charges are part of the
+    // deterministic result too.
+    assert_eq!(
+        a.overhead.report.uplink.messages,
+        b.overhead.report.uplink.messages
+    );
+    assert_eq!(
+        a.overhead.report.uplink.bytes,
+        b.overhead.report.uplink.bytes
+    );
+    assert_eq!(
+        a.overhead.report.downlink.messages,
+        b.overhead.report.downlink.messages
+    );
+    assert_eq!(
+        a.overhead.report.total_latency(),
+        b.overhead.report.total_latency()
+    );
+    let other = fleet_seeded(7, 4);
+    assert_ne!(
+        a.table.render(),
+        other.table.render(),
+        "a different seed should change the numbers"
+    );
+}
+
+fn fleet_seeded(seed: u64, replicas: usize) -> FleetRun {
+    run_classification_fleet(
+        &cv_scenario(seed, 2_000),
+        replicas,
+        FleetDispatch::LeastLoaded,
+    )
+}
+
+#[test]
+fn dispatch_invariants_hold_at_every_fleet_size() {
+    // 2 000 frames → 1 800 served requests after the bootstrap split.
+    for replicas in [1usize, 2, 4, 8] {
+        for dispatch in [FleetDispatch::RoundRobin, FleetDispatch::LeastLoaded] {
+            let run = run_classification_fleet(&cv_scenario(42, 2_000), replicas, dispatch);
+            assert_eq!(run.shard_sizes.len(), replicas);
+            assert_eq!(
+                run.shard_sizes.iter().sum::<usize>(),
+                1_800,
+                "{dispatch} x{replicas}: shards must partition the shared trace"
+            );
+            let fair = 1_800 / replicas;
+            let min = run.shard_sizes.iter().copied().min().unwrap();
+            assert!(
+                min >= fair / 4,
+                "{dispatch} x{replicas}: a replica was starved ({min} of fair {fair})"
+            );
+        }
+    }
+}
+
+#[test]
+fn provisioned_fleet_keeps_the_single_replica_win_and_accuracy() {
+    let run = fleet(4);
+    let apparate = run.apparate();
+    assert!(
+        apparate.summary.accuracy >= 0.97,
+        "fleet accuracy {} violates the constraint",
+        apparate.summary.accuracy
+    );
+    assert!(
+        apparate.wins.p50 > 0.0,
+        "a provisioned apparate fleet must still win the median vs the vanilla fleet"
+    );
+    // Four controllers, each over its own charged link: the fleet pays for
+    // every replica's profiling stream.
+    assert!(run.overhead.report.uplink.messages >= 4);
+}
+
+#[test]
+fn scale_out_relieves_an_overloaded_shared_stream() {
+    // Six cameras' aggregate stream: one replica queues without bound, four
+    // replicas are comfortably provisioned, so the Apparate fleet's pooled
+    // median latency must collapse by orders of magnitude.
+    let scenario = || cv_scenario(42, 2_000).with_arrival_scale(6.0);
+    let single = run_classification_fleet(&scenario(), 1, FleetDispatch::LeastLoaded);
+    let quad = run_classification_fleet(&scenario(), 4, FleetDispatch::LeastLoaded);
+    let single_p50 = single.apparate().summary.latency_ms.p50;
+    let quad_p50 = quad.apparate().summary.latency_ms.p50;
+    assert!(
+        quad_p50 < single_p50 / 10.0,
+        "4-replica p50 {quad_p50} ms should be far below overloaded single-replica {single_p50} ms"
+    );
+    // And the provisioned fleet's throughput must scale past the single
+    // replica's saturation point.
+    assert!(
+        quad.apparate().summary.throughput > 2.0 * single.apparate().summary.throughput,
+        "fleet throughput {} should far exceed saturated single-replica {}",
+        quad.apparate().summary.throughput,
+        single.apparate().summary.throughput
+    );
+}

@@ -13,6 +13,9 @@
 //! * [`zoo`] — synthetic reconstructions of the paper's full model corpus
 //!   (ResNet/VGG/BERT/DistilBERT/GPT2/T5/Llama2 + quantised variants),
 //!   calibrated to Table 5.
+//!
+//! Entry points: [`zoo`] for ready-made models, [`ModelGraph`] for the DAG
+//! analysis a custom model needs before ramps can be placed on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,497 @@
+//! Multi-replica scale-out: one shared arrival stream served by a fleet.
+//!
+//! The paper evaluates Apparate per model replica; production deployments run
+//! *fleets* of identical replicas behind a front-end dispatcher, each replica
+//! carrying its own GPU + controller pair over its own coordination link.
+//! This module provides the platform half of that story:
+//!
+//! * [`FleetDispatch`] — how the front-end assigns arrivals to replicas
+//!   (round-robin, or least-loaded via a virtual-backlog estimate);
+//! * [`shard_arrivals`] / [`TraceShard`] — deterministic sharding of one
+//!   shared [`ArrivalTrace`] into per-replica sub-traces that preserve
+//!   absolute arrival times (replicas run in parallel wall-clock time);
+//! * [`ReplicaFleet`] — runs one [`ReplicaServer`] per shard through the
+//!   classification serving simulator and returns a [`FleetOutcome`];
+//! * [`FleetOutcome`] — per-replica [`ServingOutcome`]s aggregated into
+//!   fleet-level latency/accuracy/throughput views (the fleet makespan is the
+//!   slowest replica's; latencies pool across every replica).
+//!
+//! The policies themselves stay pluggable exactly as in [`crate::platform`]:
+//! the fleet knows nothing about early exits, and an adaptive policy brings
+//! its own feedback link per replica (independent
+//! [`LinkStats`](apparate_exec::LinkStats) per controller).
+
+use crate::metrics::LatencySummary;
+use crate::platform::{ExitPolicy, ServingConfig, ServingOutcome, ServingSimulator};
+use crate::traces::ArrivalTrace;
+use apparate_exec::{FeedbackSender, ProfileRecord, SampleSemantics};
+use apparate_sim::{Percentiles, SimDuration};
+
+/// How the front-end dispatcher assigns arrivals to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetDispatch {
+    /// Arrival `i` goes to replica `i % n`: oblivious, perfectly fair counts.
+    RoundRobin,
+    /// Each arrival goes to the replica with the smallest estimated backlog.
+    /// The dispatcher models every replica as a single-server queue: assigning
+    /// a request advances that replica's virtual finish time by the service
+    /// estimate, so bursts spread across the fleet instead of piling onto one
+    /// replica. Ties break toward the lowest replica index.
+    LeastLoaded,
+}
+
+impl std::str::FromStr for FleetDispatch {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FleetDispatch, String> {
+        match s {
+            "round-robin" => Ok(FleetDispatch::RoundRobin),
+            "least-loaded" => Ok(FleetDispatch::LeastLoaded),
+            other => Err(format!("unknown dispatch policy: {other}")),
+        }
+    }
+}
+
+impl std::fmt::Display for FleetDispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FleetDispatch::RoundRobin => "round-robin",
+            FleetDispatch::LeastLoaded => "least-loaded",
+        })
+    }
+}
+
+/// One replica's share of the shared arrival stream.
+#[derive(Debug, Clone)]
+pub struct TraceShard {
+    /// The replica's sub-trace, with the *original* (absolute) arrival times.
+    pub trace: ArrivalTrace,
+    /// For each shard arrival, its index in the shared trace — used to carry
+    /// per-request payloads (semantics samples) along with the arrival.
+    pub indices: Vec<usize>,
+}
+
+impl TraceShard {
+    /// Gather this shard's slice of a per-request payload array.
+    pub fn gather<T: Copy>(&self, shared: &[T]) -> Vec<T> {
+        self.indices.iter().map(|&i| shared[i]).collect()
+    }
+}
+
+/// Deterministically shard a shared arrival trace across `replicas` replicas.
+///
+/// `service_estimate` is the dispatcher's per-request service-time estimate
+/// (only used by [`FleetDispatch::LeastLoaded`]); a coarse batch-1 execution
+/// time is what a production front-end would know.
+pub fn shard_arrivals(
+    trace: &ArrivalTrace,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    service_estimate: SimDuration,
+) -> Vec<TraceShard> {
+    assert!(replicas >= 1, "a fleet needs at least one replica");
+    let mut times: Vec<Vec<apparate_sim::SimTime>> = vec![Vec::new(); replicas];
+    let mut indices: Vec<Vec<usize>> = vec![Vec::new(); replicas];
+    // Virtual finish time of each replica's modelled backlog (LeastLoaded).
+    let mut backlog = vec![apparate_sim::SimTime::ZERO; replicas];
+    for (i, &at) in trace.times().iter().enumerate() {
+        let r = match dispatch {
+            FleetDispatch::RoundRobin => i % replicas,
+            FleetDispatch::LeastLoaded => {
+                // The replica whose modelled backlog drains first; ties break
+                // toward the lowest index, keeping the assignment total-order
+                // deterministic.
+                let r = (0..replicas)
+                    .min_by_key(|&r| (backlog[r], r))
+                    .expect("replicas >= 1");
+                backlog[r] = backlog[r].max(at) + service_estimate;
+                r
+            }
+        };
+        times[r].push(at);
+        indices[r].push(i);
+    }
+    times
+        .into_iter()
+        .zip(indices)
+        .map(|(t, indices)| TraceShard {
+            trace: ArrivalTrace::from_times(t),
+            indices,
+        })
+        .collect()
+}
+
+/// Everything one replica needs to serve its shard: an exit policy, the
+/// batch-time estimator its batching decisions use, and (for adaptive
+/// policies) the uplink handle its controller listens on.
+pub struct ReplicaServer<'a> {
+    /// The replica's exit policy (each replica gets its own instance — fleet
+    /// replicas never share controller state).
+    pub policy: &'a mut dyn ExitPolicy,
+    /// Batch-time estimator for SLO-aware batching decisions.
+    pub estimate: &'a dyn Fn(u32) -> SimDuration,
+    /// Producer half of this replica's GPU → controller profiling link, if the
+    /// policy has a controller.
+    pub feedback: Option<FeedbackSender<ProfileRecord>>,
+}
+
+/// A fleet of identical serving replicas behind one dispatcher.
+#[derive(Debug, Clone)]
+pub struct ReplicaFleet {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Dispatch policy of the front end.
+    pub dispatch: FleetDispatch,
+    /// Per-replica serving configuration (batching + SLO), identical across
+    /// the fleet.
+    pub serving: ServingConfig,
+}
+
+impl ReplicaFleet {
+    /// Create a fleet. Panics if `replicas` is zero.
+    pub fn new(replicas: usize, dispatch: FleetDispatch, serving: ServingConfig) -> ReplicaFleet {
+        assert!(replicas >= 1, "a fleet needs at least one replica");
+        ReplicaFleet {
+            replicas,
+            dispatch,
+            serving,
+        }
+    }
+
+    /// Shard a shared trace across this fleet's replicas.
+    pub fn shard(&self, trace: &ArrivalTrace, service_estimate: SimDuration) -> Vec<TraceShard> {
+        shard_arrivals(trace, self.replicas, self.dispatch, service_estimate)
+    }
+
+    /// Serve one shared trace: shard it, then run every replica's server over
+    /// its shard via [`ReplicaFleet::run_sharded`].
+    pub fn run(
+        &self,
+        trace: &ArrivalTrace,
+        samples: &[SampleSemantics],
+        service_estimate: SimDuration,
+        servers: Vec<ReplicaServer<'_>>,
+    ) -> FleetOutcome {
+        assert_eq!(
+            trace.len(),
+            samples.len(),
+            "one semantic sample per arrival is required"
+        );
+        let shards = self.shard(trace, service_estimate);
+        self.run_sharded(&shards, samples, servers)
+    }
+
+    /// Serve pre-computed shards (each replica is an independent
+    /// [`ServingSimulator`] with the fleet's serving config) and aggregate.
+    /// Sharding depends only on arrivals and dispatch, so callers comparing
+    /// several policy families over the *same* shards should shard once and
+    /// call this per family. `servers` must hold exactly one
+    /// [`ReplicaServer`] per replica, in replica order.
+    pub fn run_sharded(
+        &self,
+        shards: &[TraceShard],
+        samples: &[SampleSemantics],
+        servers: Vec<ReplicaServer<'_>>,
+    ) -> FleetOutcome {
+        assert_eq!(
+            servers.len(),
+            self.replicas,
+            "one server per replica is required"
+        );
+        assert_eq!(
+            shards.len(),
+            self.replicas,
+            "one shard per replica is required"
+        );
+        let sim = ServingSimulator::new(self.serving.clone());
+        let mut per_replica = Vec::with_capacity(self.replicas);
+        let mut shard_sizes = Vec::with_capacity(self.replicas);
+        for (shard, server) in shards.iter().zip(servers) {
+            let shard_samples = shard.gather(samples);
+            shard_sizes.push(shard.trace.len());
+            per_replica.push(sim.run_with_feedback(
+                &shard.trace,
+                &shard_samples,
+                server.policy,
+                server.estimate,
+                server.feedback.as_ref(),
+            ));
+        }
+        FleetOutcome {
+            per_replica,
+            shard_sizes,
+        }
+    }
+}
+
+/// Aggregate result of one fleet run: per-replica outcomes plus fleet-level
+/// views over the pooled records.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// One serving outcome per replica, in replica order.
+    pub per_replica: Vec<ServingOutcome>,
+    /// Requests dispatched to each replica (sums to the shared trace length).
+    pub shard_sizes: Vec<usize>,
+}
+
+impl FleetOutcome {
+    /// Total requests served across the fleet.
+    pub fn total_requests(&self) -> usize {
+        self.per_replica.iter().map(|o| o.records.len()).sum()
+    }
+
+    /// Smallest shard any replica received (starvation indicator).
+    pub fn min_shard(&self) -> usize {
+        self.shard_sizes.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Response latencies pooled across every replica, in milliseconds.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.per_replica
+            .iter()
+            .flat_map(|o| o.latencies_ms())
+            .collect()
+    }
+
+    /// Fleet makespan: replicas run in parallel, so the fleet finishes when
+    /// its slowest replica does.
+    pub fn makespan(&self) -> SimDuration {
+        self.per_replica
+            .iter()
+            .map(|o| o.makespan)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Fleet throughput in requests per second: total completions over the
+    /// fleet makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.makespan().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_requests() as f64 / secs
+    }
+
+    /// Request-weighted accuracy across the fleet.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 1.0;
+        }
+        let correct: usize = self
+            .per_replica
+            .iter()
+            .map(|o| o.records.iter().filter(|r| r.correct).count())
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Request-weighted early-exit rate across the fleet.
+    pub fn exit_rate(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 0.0;
+        }
+        let exited: usize = self
+            .per_replica
+            .iter()
+            .map(|o| o.records.iter().filter(|r| r.exit_ramp.is_some()).count())
+            .sum();
+        exited as f64 / total as f64
+    }
+
+    /// Request-weighted SLO violation rate across the fleet.
+    pub fn slo_violation_rate(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 0.0;
+        }
+        let violated: usize = self
+            .per_replica
+            .iter()
+            .map(|o| o.records.iter().filter(|r| r.slo_violated).count())
+            .sum();
+        violated as f64 / total as f64
+    }
+
+    /// Batch-weighted mean batch size across the fleet.
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches: usize = self.per_replica.iter().map(|o| o.batch_sizes.len()).sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let items: u64 = self
+            .per_replica
+            .iter()
+            .flat_map(|o| o.batch_sizes.iter().map(|&b| b as u64))
+            .sum();
+        items as f64 / batches as f64
+    }
+
+    /// Summarise the fleet run the way [`LatencySummary::from_outcome`] does
+    /// for a single replica, over the pooled latencies.
+    pub fn summary(&self, policy: impl Into<String>) -> LatencySummary {
+        LatencySummary {
+            policy: policy.into(),
+            latency_ms: Percentiles::from_samples(&self.latencies_ms()),
+            accuracy: self.accuracy(),
+            throughput: self.throughput_rps(),
+            mean_batch_size: self.mean_batch_size(),
+            slo_violation_rate: self.slo_violation_rate(),
+            exit_rate: self.exit_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::BatchingPolicy;
+    use crate::platform::VanillaPolicy;
+
+    fn samples(n: usize) -> Vec<SampleSemantics> {
+        (0..n)
+            .map(|i| SampleSemantics::new(i as u64, 0.5))
+            .collect()
+    }
+
+    fn exec_time(b: u32) -> SimDuration {
+        SimDuration::from_millis(10 + 2 * b as u64)
+    }
+
+    #[test]
+    fn shard_counts_sum_to_trace_length_for_both_dispatchers() {
+        let trace = ArrivalTrace::maf_like(977, 40.0, 7);
+        for dispatch in [FleetDispatch::RoundRobin, FleetDispatch::LeastLoaded] {
+            for n in [1, 2, 4, 8] {
+                let shards = shard_arrivals(&trace, n, dispatch, exec_time(1));
+                assert_eq!(shards.len(), n);
+                let total: usize = shards.iter().map(|s| s.trace.len()).sum();
+                assert_eq!(total, trace.len(), "{dispatch} x{n} loses/duplicates");
+                // Index sets partition the shared trace.
+                let mut seen: Vec<usize> = shards.iter().flat_map(|s| s.indices.clone()).collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..trace.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_counts_are_fair() {
+        let trace = ArrivalTrace::fixed_rate(100, 50.0);
+        let shards = shard_arrivals(&trace, 4, FleetDispatch::RoundRobin, exec_time(1));
+        for s in &shards {
+            assert_eq!(s.trace.len(), 25);
+        }
+    }
+
+    #[test]
+    fn least_loaded_never_starves_a_replica() {
+        // Bursty arrivals, 8 replicas: the backlog model must still hand every
+        // replica a meaningful share of the stream.
+        let trace = ArrivalTrace::maf_like(2_000, 60.0, 11);
+        let shards = shard_arrivals(&trace, 8, FleetDispatch::LeastLoaded, exec_time(1));
+        let fair = trace.len() / 8;
+        for (r, s) in shards.iter().enumerate() {
+            assert!(
+                s.trace.len() >= fair / 4,
+                "replica {r} starved: {} of fair share {fair}",
+                s.trace.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_is_deterministic() {
+        let trace = ArrivalTrace::poisson(500, 30.0, 3);
+        let a = shard_arrivals(&trace, 4, FleetDispatch::LeastLoaded, exec_time(1));
+        let b = shard_arrivals(&trace, 4, FleetDispatch::LeastLoaded, exec_time(1));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.indices, y.indices);
+            assert_eq!(x.trace.times(), y.trace.times());
+        }
+    }
+
+    #[test]
+    fn shards_preserve_absolute_arrival_times() {
+        let trace = ArrivalTrace::fixed_rate(20, 10.0);
+        let shards = shard_arrivals(&trace, 3, FleetDispatch::RoundRobin, exec_time(1));
+        for shard in &shards {
+            for (&idx, &at) in shard.indices.iter().zip(shard.trace.times()) {
+                assert_eq!(at, trace.times()[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_run_serves_everything_and_aggregates() {
+        let n = 200;
+        let trace = ArrivalTrace::fixed_rate(n, 100.0);
+        let shared = samples(n);
+        let fleet = ReplicaFleet::new(
+            4,
+            FleetDispatch::LeastLoaded,
+            ServingConfig {
+                policy: BatchingPolicy::Immediate,
+                slo: None,
+            },
+        );
+        let mut policies: Vec<_> = (0..4).map(|_| VanillaPolicy::new(exec_time)).collect();
+        let estimate = exec_time;
+        let servers: Vec<ReplicaServer<'_>> = policies
+            .iter_mut()
+            .map(|p| ReplicaServer {
+                policy: p,
+                estimate: &estimate,
+                feedback: None,
+            })
+            .collect();
+        let out = fleet.run(&trace, &shared, exec_time(1), servers);
+        assert_eq!(out.total_requests(), n);
+        assert_eq!(out.shard_sizes.iter().sum::<usize>(), n);
+        assert!(out.min_shard() > 0);
+        assert!(out.accuracy() >= 1.0 - 1e-12);
+        assert_eq!(out.exit_rate(), 0.0);
+        assert!(out.throughput_rps() > 0.0);
+        let summary = out.summary("vanilla");
+        assert_eq!(summary.latency_ms.count, n);
+    }
+
+    #[test]
+    fn four_replicas_drain_an_overloaded_stream_faster_than_one() {
+        // 100 rps against ~83 rps single-replica batch-1 capacity: one replica
+        // queues without bound, four replicas are comfortably provisioned, so
+        // the pooled median latency must drop sharply.
+        let n = 300;
+        let trace = ArrivalTrace::fixed_rate(n, 100.0);
+        let shared = samples(n);
+        let config = ServingConfig {
+            policy: BatchingPolicy::Immediate,
+            slo: None,
+        };
+        let run = |replicas: usize| {
+            let fleet = ReplicaFleet::new(replicas, FleetDispatch::LeastLoaded, config.clone());
+            let mut policies: Vec<_> = (0..replicas)
+                .map(|_| VanillaPolicy::new(exec_time))
+                .collect();
+            let estimate = exec_time;
+            let servers: Vec<ReplicaServer<'_>> = policies
+                .iter_mut()
+                .map(|p| ReplicaServer {
+                    policy: p,
+                    estimate: &estimate,
+                    feedback: None,
+                })
+                .collect();
+            let out = fleet.run(&trace, &shared, exec_time(1), servers);
+            Percentiles::from_samples(&out.latencies_ms()).p50
+        };
+        let single = run(1);
+        let quad = run(4);
+        assert!(
+            quad < single / 2.0,
+            "4-replica p50 {quad} ms should be far below single-replica {single} ms"
+        );
+    }
+}

@@ -7,16 +7,23 @@
 //! * [`batching`] — queue-draining policies: TF-Serving knobs, Clockwork-style
 //!   SLO-aware batching, and immediate (batch-1) scheduling.
 //! * [`platform`] — the classification serving loop with the pluggable
-//!   [`ExitPolicy`](platform::ExitPolicy) hook through which Apparate and
-//!   every baseline integrate.
+//!   [`ExitPolicy`] hook through which Apparate and every baseline
+//!   integrate.
 //! * [`generative`] — continuous-batching decode loop with the analogous
-//!   [`TokenPolicy`](generative::TokenPolicy) hook.
+//!   [`TokenPolicy`] hook.
+//! * [`fleet`] — multi-replica scale-out: deterministic sharding of one
+//!   shared arrival trace across N replicas (round-robin / least-loaded
+//!   dispatch) and fleet-level outcome aggregation.
 //! * [`metrics`] — latency/accuracy/throughput summaries and win computations.
+//!
+//! Entry points: [`ServingSimulator::run`] (single replica),
+//! [`ReplicaFleet::run`] (fleet), [`GenerativeSimulator::run`] (decode loop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batching;
+pub mod fleet;
 pub mod generative;
 pub mod metrics;
 pub mod platform;
@@ -24,6 +31,9 @@ pub mod request;
 pub mod traces;
 
 pub use batching::{BatchDecision, BatchingPolicy};
+pub use fleet::{
+    shard_arrivals, FleetDispatch, FleetOutcome, ReplicaFleet, ReplicaServer, TraceShard,
+};
 pub use generative::{
     ContinuousBatchingConfig, GenerativeOutcome, GenerativeSimulator, StepOutcome, TokenOutcome,
     TokenPolicy, TokenRecord, TokenSemantics, TokenSlot, VanillaTokenPolicy,

@@ -16,7 +16,13 @@
 //!   (the paper reasons about workloads in 64-request chunks, e.g. Figure 5).
 //!
 //! Nothing in this crate knows about models, ramps or serving; it is the
-//! "operating system" layer of the simulation.
+//! "operating system" layer of the simulation — the layer that makes every
+//! paper figure reproducible bit-for-bit from a seed rather than tied to a
+//! section of its own.
+//!
+//! Entry points: [`SimTime`]/[`SimDuration`] for virtual time,
+//! [`DeterministicRng`] for splittable seeding, [`Percentiles`]/[`Cdf`] for
+//! the metric pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

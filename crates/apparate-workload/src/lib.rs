@@ -7,6 +7,9 @@
 //! review streams ([`nlp`]), and strongly correlated within-sequence token
 //! difficulty for generation ([`generative`]). [`stream::Workload`] carries
 //! the samples and the 10 % bootstrap split used for ramp training (§3.1).
+//!
+//! Entry points: [`video_workload`], [`amazon_reviews`] / [`imdb_reviews`],
+//! and [`GenerativeWorkload::generate`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,11 @@
+//! Multi-replica scale-out: fleet runs at 1/2/4/8 replicas (one warm-started
+//! controller per replica over its own charged link) plus the dispatcher's
+//! sharding micro-benchmark.
+//!
+//! Run via `cargo bench -p apparate-bench --bench bench_scale -- --quick`
+//! (`--smoke`, `--seed N` also accepted); the suite itself lives in
+//! `apparate_bench::suites`, shared with the `bench` binary.
+
+fn main() {
+    apparate_bench::bench_main("scale");
+}

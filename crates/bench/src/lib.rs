@@ -10,7 +10,8 @@
 //! * [`report`] — the [`BenchReport`] record and the hand-rolled JSON-lines
 //!   writer behind `BENCH_*.json` (the compat `serde` derives expand to
 //!   nothing, so serialisation is manual).
-//! * [`suites`] — the seven suites measuring the workspace's hot paths;
+//! * [`suites`] — the nine suites measuring the workspace's hot paths (from
+//!   Algorithm 1 micro-benchmarks up to multi-replica fleet runs);
 //!   `benches/bench_*.rs` and the `bench` binary both dispatch into them.
 //!
 //! Run everything and write the consolidated perf-trajectory file with:

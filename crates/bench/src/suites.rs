@@ -1,4 +1,4 @@
-//! The eight benchmark suites, measuring the workspace's hot paths:
+//! The nine benchmark suites, measuring the workspace's hot paths:
 //!
 //! | suite         | what it measures                                         |
 //! |---------------|----------------------------------------------------------|
@@ -10,6 +10,7 @@
 //! | `sensitivity` | accuracy/ramp-budget sweep points                        |
 //! | `e2e`         | repro quick-run scenarios (`apparate-experiments`)       |
 //! | `overhead`    | GPU↔controller feedback link + controller-in-the-loop    |
+//! | `scale`       | multi-replica fleet runs at 1/2/4/8 replicas + sharding  |
 //!
 //! Every suite is a plain function from a [`BenchContext`] to a list of
 //! [`BenchReport`]s, registered in [`SUITES`]. Fixtures are built once per
@@ -26,11 +27,13 @@ use apparate_core::{
     ApparateConfig, GreedyParams, RampArchitecture, RequestFeedback, ThresholdEvaluator,
 };
 use apparate_exec::{SampleSemantics, SemanticsModel};
-use apparate_experiments::{run_scenarios, scenario_config, ReproSizes, ScenarioSelect};
+use apparate_experiments::{
+    run_scenarios, scenario_config, ReproSizes, ScenarioSelect, WorkloadTokens,
+};
 use apparate_model::{zoo, ZooModel};
 use apparate_serving::{
     ArrivalTrace, ContinuousBatchingConfig, GenerativeSimulator, Request, ServingConfig,
-    ServingSimulator, TokenSemantics, VanillaTokenPolicy,
+    ServingSimulator, VanillaTokenPolicy,
 };
 use apparate_sim::{DeterministicRng, SimDuration};
 use apparate_workload::{
@@ -74,6 +77,7 @@ pub const SUITES: &[(&str, SuiteFn)] = &[
     ("sensitivity", sensitivity),
     ("e2e", e2e),
     ("overhead", overhead),
+    ("scale", scale),
 ];
 
 /// Names of all registered suites, in run order.
@@ -378,16 +382,6 @@ fn serving(ctx: &BenchContext) -> Vec<BenchReport> {
 // generative — token-level policies in the continuous-batching decode loop
 // ---------------------------------------------------------------------------
 
-/// Adapter exposing a workload's deterministic token semantics to the
-/// simulator (mirrors the private adapter in `apparate-experiments`).
-struct WorkloadTokens<'a>(&'a GenerativeWorkload);
-
-impl TokenSemantics for WorkloadTokens<'_> {
-    fn token(&self, request_id: u64, token_index: u32) -> SampleSemantics {
-        self.0.token_semantics(request_id, token_index)
-    }
-}
-
 fn generative(ctx: &BenchContext) -> Vec<BenchReport> {
     const SUITE: &str = "generative";
     let model = zoo::llama2_7b();
@@ -608,12 +602,47 @@ fn overhead(ctx: &BenchContext) -> Vec<BenchReport> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// scale — multi-replica fleet runs (one controller per replica)
+// ---------------------------------------------------------------------------
+
+fn scale(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "scale";
+    use apparate_experiments::{cv_scenario, run_classification_fleet};
+    use apparate_serving::{shard_arrivals, FleetDispatch};
+
+    // The fleet fixture: the CV comparison scenario over a shared trace, one
+    // warm-started Apparate controller per replica over its own charged link.
+    // Wall time across 1/2/4/8 replicas tracks the per-replica controller
+    // cost (N warm-starts, N links) on a fixed total workload.
+    let scenario = cv_scenario(ctx.seed, ctx.scaled(1_200));
+    // Dispatcher micro-benchmark fixture: a bursty shared stream.
+    let trace = ArrivalTrace::maf_like(
+        ctx.scaled(10_000),
+        60.0,
+        DeterministicRng::new(ctx.seed).child(0x51).seed(),
+    );
+    let service_estimate = SimDuration::from_millis(15);
+
+    let mut reports = vec![ctx.bench(SUITE, "shard/least-loaded-x8", || {
+        shard_arrivals(&trace, 8, FleetDispatch::LeastLoaded, service_estimate)
+    })];
+    for replicas in [1usize, 2, 4, 8] {
+        reports.push(
+            ctx.bench(SUITE, &format!("fleet_run/cv-apparate/x{replicas}"), || {
+                run_classification_fleet(&scenario, replicas, FleetDispatch::LeastLoaded)
+            }),
+        );
+    }
+    reports
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn suite_registry_has_the_eight_suites() {
+    fn suite_registry_has_the_nine_suites() {
         assert_eq!(
             suite_names(),
             vec![
@@ -624,7 +653,8 @@ mod tests {
                 "generative",
                 "sensitivity",
                 "e2e",
-                "overhead"
+                "overhead",
+                "scale"
             ]
         );
     }

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// All suites the consolidated report must cover, in run order.
-const EXPECTED_SUITES: [&str; 8] = [
+const EXPECTED_SUITES: [&str; 9] = [
     "tuning",
     "adaptation",
     "prep",
@@ -19,6 +19,7 @@ const EXPECTED_SUITES: [&str; 8] = [
     "sensitivity",
     "e2e",
     "overhead",
+    "scale",
 ];
 
 /// Extract the string value of `"key":"…"` from a JSON line written by the

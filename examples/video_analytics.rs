@@ -1,9 +1,122 @@
-//! Placeholder example — see ROADMAP.md "Open items".
+//! Video analytics: the paper's CV scenario as a narrated walkthrough,
+//! finishing with a 4-replica fleet.
 //!
-//! The end-to-end flow this example will demonstrate already runs today via
-//! the repro harness: `cargo run --release -p apparate-experiments --bin repro`.
+//! ResNet-50 classifies a synthetic night-time urban video stream — strong
+//! frame-to-frame continuity punctuated by scene cuts and lighting changes,
+//! which is exactly the regime where Apparate's continual threshold re-tuning
+//! pays off (§4.2, Figure 5). The walkthrough prints the scenario
+//! configuration, the paper-style win table, the latency CDFs behind it
+//! (Figure 14 style), the §4.5 coordination bill, and then scales the same
+//! scenario out to a 4-replica fleet serving the aggregate stream of six
+//! cameras. Run with:
+//!
+//! ```text
+//! cargo run --release --example video_analytics
+//! ```
+//!
+//! For the full three-scenario comparison (CV + NLP + generative) use the
+//! repro binary: `cargo run --release -p apparate-experiments --bin repro`.
+
+use apparate::experiments::{
+    cv_scenario, run_classification_fleet, run_classification_full, OverheadTable,
+};
+use apparate::serving::FleetDispatch;
+use apparate::sim::Cdf;
 
 fn main() {
-    println!("not yet implemented; run the repro binary instead:");
-    println!("  cargo run --release -p apparate-experiments --bin repro");
+    let seed = 42;
+    let frames = 3_000;
+    let scenario = cv_scenario(seed, frames);
+    println!("apparate video analytics — CV scenario, seed {seed}, {frames} frames");
+
+    // -- Scenario configuration -------------------------------------------
+    let d = &scenario.model.descriptor;
+    println!(
+        "model: {} ({:.0}M params, {:.1} ms at batch 1) · workload: {}",
+        d.name, d.params_millions, d.bs1_latency_ms, scenario.workload.name
+    );
+    println!(
+        "arrivals: 30 fps fixed-rate video · SLO: {:.1} ms · batching: Clockwork-style, max 8",
+        d.default_slo_ms
+    );
+    println!("knobs: ≤1% accuracy loss, ≤2% ramp budget (the paper's two user-facing knobs)\n");
+
+    // -- The head-to-head comparison --------------------------------------
+    let run = run_classification_full(&scenario);
+    print!("{}", run.table.render());
+
+    let vanilla = run.table.row("vanilla").expect("vanilla row");
+    let apparate = run.table.row("apparate").expect("apparate row");
+    let oracle = run.table.row("oracle").expect("oracle row");
+    println!(
+        "\nApparate released the median frame in {:.2} ms against {:.2} ms for vanilla\n\
+         serving — a {:.1}% median win (the paper's CV band, Figure 12) at {:.1}%\n\
+         agreement with the full model; the hindsight oracle bounds the scenario at {:.1}%.",
+        apparate.summary.latency_ms.p50,
+        vanilla.summary.latency_ms.p50,
+        apparate.wins.p50,
+        apparate.summary.accuracy * 100.0,
+        oracle.wins.p50,
+    );
+
+    // -- The latency CDFs behind the table (Figure 14 style) ---------------
+    println!("\nlatency CDF (ms at each percentile):");
+    println!(
+        "{:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "policy", "p10", "p25", "p50", "p75", "p90", "p99"
+    );
+    let dump = |label: &str, cdf: &Cdf| {
+        println!(
+            "{:>12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            label,
+            cdf.value_at(0.10),
+            cdf.value_at(0.25),
+            cdf.value_at(0.50),
+            cdf.value_at(0.75),
+            cdf.value_at(0.90),
+            cdf.value_at(0.99),
+        );
+    };
+    dump("vanilla", &run.cdfs.vanilla);
+    dump("apparate", &run.cdfs.apparate);
+    println!(
+        "easy frames (the bulk of a continuous scene) exit at shallow ramps and pull the\n\
+         whole left side of the CDF down; hard frames after scene cuts ride to deeper\n\
+         ramps or the full model, which is why the two curves converge at the tail."
+    );
+
+    // -- The §4.5 coordination bill ----------------------------------------
+    let overhead = OverheadTable::new(vec![run.overhead]);
+    println!();
+    print!("{}", overhead.render());
+    println!(
+        "every adaptation decision above crossed the GPU → controller link as a profiling\n\
+         record and came back as a threshold update, at ~{:.2} ms per message — none of it\n\
+         on the serving path.",
+        overhead.mean_latency_ms(),
+    );
+
+    // -- Scale-out: a 4-replica fleet --------------------------------------
+    // Six cameras' aggregate stream (180 fps) overwhelms one replica; a
+    // 4-replica fleet behind a least-loaded dispatcher is comfortably
+    // provisioned. Each replica runs its own GPU-half/controller-half pair
+    // over its own charged link.
+    let fleet_scenario = cv_scenario(seed, frames).with_arrival_scale(6.0);
+    let fleet = run_classification_fleet(&fleet_scenario, 4, FleetDispatch::LeastLoaded);
+    println!();
+    print!("{}", fleet.table.render());
+    let fa = fleet.apparate();
+    let min = fleet.shard_sizes.iter().min().expect("4 shards");
+    let max = fleet.shard_sizes.iter().max().expect("4 shards");
+    println!(
+        "\nthe dispatcher spread {} frames across 4 replicas ({}–{} each); the fleet holds\n\
+         the single-replica win at {:.1}% median while serving 6× the traffic, with the\n\
+         coordination bill split across four independent links ({} uplink messages\n\
+         fleet-wide — each replica's controller consumes only its own profiling stream).",
+        fleet.shard_sizes.iter().sum::<usize>(),
+        min,
+        max,
+        fa.wins.p50,
+        fleet.overhead.report.uplink.messages,
+    );
 }

@@ -11,13 +11,19 @@
 //! * [`serving`] — serving-platform simulation with pluggable exit policies.
 //! * [`control`] — Apparate's controller algorithms (placement, tuning, …).
 //! * [`baselines`] — vanilla / static-EE / offline-tuned / oracle policies.
-//! * [`experiments`] — the end-to-end comparison harness and `repro` binary.
+//! * [`experiments`] — the end-to-end comparison harness and `repro` binary,
+//!   including multi-replica fleet runs and the sensitivity sweeps.
 //!
 //! Run the headline comparison with:
 //!
 //! ```text
 //! cargo run --release -p apparate-experiments --bin repro
 //! ```
+//!
+//! and the scale-out / sensitivity mode with `repro --sweep`. The narrated
+//! walkthroughs in `examples/` (`quickstart`, `video_analytics`,
+//! `sentiment_serving`, `generative_llm`) are the best entry points for
+//! reading; `README.md` maps every crate to the paper section it reproduces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
