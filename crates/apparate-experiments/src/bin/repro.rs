@@ -16,16 +16,22 @@
 //! ```
 //!
 //! `--sweep` switches to the scale-out/sensitivity mode: fleet-level win
-//! tables for 1/2/4/8 replicas over the shared CV trace (least-loaded
-//! dispatch), then the SLO (Figure 17) and accuracy-constraint (Figure 19)
-//! sensitivity grids.
+//! tables for 1/2/4/8 replicas over the shared CV trace *and* the shared
+//! generative request stream (least-loaded dispatch), then the SLO
+//! (Figure 17) and accuracy-constraint (Figure 19) sensitivity grids.
 
 use apparate_experiments::{
-    render_fleet_summary, run_classification_fleet, run_scenarios_full, sensitivity_sweeps,
-    OverheadTable, ReproSizes, ScenarioSelect, SensitivityGrid,
+    render_fleet_summary, run_classification_fleet, run_generative_fleet, run_scenarios_full,
+    sensitivity_sweeps, OverheadTable, ReproSizes, ScenarioSelect, SensitivityGrid,
 };
 use apparate_serving::FleetDispatch;
 
+/// One-line usage synopsis, printed by `--help` and after every argument
+/// error (exit code 2).
+const USAGE: &str =
+    "usage: repro [--seed N] [--quick] [--scenario cv|nlp|generative|all] [--sweep]";
+
+#[derive(Debug, PartialEq)]
 struct Args {
     seed: u64,
     quick: bool,
@@ -33,14 +39,16 @@ struct Args {
     sweep: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// Parse command-line arguments (exclusive of the binary name). Pure so the
+/// rejection paths are unit-testable; `main` turns `Err` into usage + exit 2.
+fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut args = Args {
         seed: 42,
         quick: false,
         scenario: None,
         sweep: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => {
@@ -56,9 +64,7 @@ fn parse_args() -> Result<Args, String> {
                 args.scenario = Some(value.parse()?);
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [--seed N] [--quick] [--scenario cv|nlp|generative|all] [--sweep]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -66,8 +72,8 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.sweep && args.scenario.is_some() {
         return Err(
-            "--sweep runs its own scenario grid (CV fleet + CV/NLP sensitivity) and cannot \
-             be combined with --scenario"
+            "--sweep runs its own scenario grid (CV + generative fleets, CV/NLP sensitivity) \
+             and cannot be combined with --scenario"
                 .to_string(),
         );
     }
@@ -87,10 +93,11 @@ fn emit(text: &str) {
 }
 
 fn main() {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
         Err(message) => {
             eprintln!("repro: {message}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
@@ -132,19 +139,23 @@ fn main() {
 }
 
 /// The `--sweep` mode: fleet scale-out tables (1/2/4/8 replicas over the
-/// shared CV trace, least-loaded dispatch, one controller per replica), then
-/// the SLO and accuracy-constraint sensitivity grids.
+/// shared CV trace and the shared generative request stream, least-loaded
+/// dispatch, one controller per replica), then the SLO and accuracy-constraint
+/// sensitivity grids.
 fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes) {
     // Sensitivity points and fleet runs re-simulate the scenario per grid
     // cell, so they run at (at most) quick scale even in full mode.
     let frames = sizes.cv_frames.min(ReproSizes::quick().cv_frames);
+    let nlp_requests = sizes.nlp_requests.min(ReproSizes::quick().nlp_requests);
+    let gen_requests = sizes.gen_requests.min(ReproSizes::quick().gen_requests);
     let grid = if quick {
         SensitivityGrid::quick()
     } else {
         SensitivityGrid::paper()
     };
     emit(&format!(
-        "apparate repro --sweep  (seed {seed}, {} mode, {frames}-frame CV stream)\n\
+        "apparate repro --sweep  (seed {seed}, {} mode, {frames}-frame CV stream, \
+         {gen_requests}-request generative stream)\n\
          fleet: one GPU-half/controller-half pair per replica, each over its own charged link\n\n",
         if quick { "quick" } else { "full" }
     ));
@@ -162,12 +173,80 @@ fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes) {
     }
     emit(&format!("{}\n", render_fleet_summary(&runs)));
 
-    for table in sensitivity_sweeps(seed, frames, &grid) {
+    // The generative fleet serves eight tenants' aggregate summarisation
+    // stream: one replica's continuous batch pins at its cap (median TPT
+    // collapses toward the full-batch step time while sequences queue), two
+    // replicas are still transiently overloaded, and ≥4 replicas decode
+    // comfortably thin batches — whole sequences dispatched, every replica's
+    // token controller running the full Algorithm 2 loop over its own link.
+    let generative =
+        apparate_experiments::generative_scenario(seed, gen_requests).with_arrival_scale(8.0);
+    let mut gen_runs = Vec::new();
+    for replicas in [1usize, 2, 4, 8] {
+        let run = run_generative_fleet(&generative, replicas, FleetDispatch::LeastLoaded);
+        emit(&format!("{}\n", run.table.render()));
+        gen_runs.push(run);
+    }
+    emit(&format!("{}\n", render_fleet_summary(&gen_runs)));
+
+    for table in sensitivity_sweeps(seed, frames, nlp_requests, &grid) {
         emit(&format!("{}\n", table.render()));
     }
     emit(
         "fleet wins compare each Apparate fleet against the vanilla fleet of the same size\n\
-         over the pooled per-replica records; sensitivity rows duel apparate against vanilla\n\
-         with one knob moved and everything else (seed, arrivals, semantics draws) held fixed.\n",
+         over the pooled per-replica records (response latency for CV, time-per-token for\n\
+         the generative stream); sensitivity rows duel apparate against vanilla with one\n\
+         knob moved and everything else (seed, arrivals, semantics draws) held fixed.\n",
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_parse_empty_argv() {
+        let args = parse(&[]).expect("defaults");
+        assert_eq!(args.seed, 42);
+        assert!(!args.quick);
+        assert!(!args.sweep);
+        assert_eq!(args.scenario, None);
+    }
+
+    #[test]
+    fn flags_and_values_parse() {
+        let args = parse(&["--quick", "--seed", "7", "--scenario", "nlp"]).expect("valid argv");
+        assert_eq!(args.seed, 7);
+        assert!(args.quick);
+        assert_eq!(args.scenario, Some(ScenarioSelect::Nlp));
+        let args = parse(&["--sweep"]).expect("valid argv");
+        assert!(args.sweep);
+    }
+
+    #[test]
+    fn sweep_rejects_scenario_with_an_explanation() {
+        // The regression this guards: `repro --sweep --scenario cv` used to
+        // die with a bare error; the parser must return a message explaining
+        // the conflict (main appends the usage line and exits 2).
+        let error = parse(&["--sweep", "--scenario", "cv"]).expect_err("conflicting argv");
+        assert!(
+            error.contains("--sweep") && error.contains("--scenario"),
+            "error must name the conflicting flags: {error}"
+        );
+        // Order must not matter.
+        assert!(parse(&["--scenario", "cv", "--sweep"]).is_err());
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "not-a-number"]).is_err());
+        assert!(parse(&["--scenario"]).is_err());
+        assert!(parse(&["--scenario", "no-such-scenario"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
 }

@@ -154,8 +154,9 @@ struct ControllerHalf {
     reference_batch: u32,
     /// Per-feasible-site per-exit savings (µs) at the reference batch.
     site_savings_us: Vec<f64>,
-    /// Whether ramp adjustment is enabled (classification: yes; the token
-    /// controller currently adapts thresholds only).
+    /// Whether ramp adjustment is enabled. Both the classification and the
+    /// token controller run it by default; tests disable it to isolate
+    /// threshold tuning.
     adjust_enabled: bool,
     /// Per-active-ramp exit counts since the last adjustment round. Tracked
     /// here (not via the monitor) so a no-op adjustment round does not have to
@@ -566,6 +567,13 @@ impl ApparatePolicy {
         &self.core.controller.active_sites
     }
 
+    /// Number of ramps in the plan the GPU is *currently executing* — trails
+    /// [`ApparatePolicy::active_sites`] by the downlink latency after a
+    /// ramp-set change.
+    pub fn deployed_ramps(&self) -> usize {
+        self.core.gpu.plan.num_ramps()
+    }
+
     /// Adaptation counters.
     pub fn stats(&self) -> ControllerStats {
         self.core.controller.stats
@@ -602,10 +610,19 @@ impl ExitPolicy for ApparatePolicy {
 
 /// Apparate's adaptive [`TokenPolicy`] for generative serving.
 ///
-/// Token-level adaptation re-tunes thresholds continuously exactly as the
-/// classification controller does; ramp-set adjustment is left static for now
-/// (generative ramps reuse the decoder head at every block, §3.1, so the
-/// placement search space is uniform to begin with).
+/// Token-level adaptation runs the full Algorithm 2 loop, exactly as the
+/// classification controller does: decode-step [`ProfileRecord`]s arrive over
+/// the charged uplink, and every `ramp_adjust_period` delivered token
+/// observations the controller re-selects the active ramp set by hindsight
+/// latency savings vs. overhead — deactivating negative-utility ramps,
+/// trialling replacements, probing earlier sites. Generative ramps reuse the
+/// decoder head at every block (§3.1), so the *training* of a candidate is
+/// free, but the placement question is real: which decoder depths pay for
+/// their evaluation overhead depends on the token stream. Every ramp-set
+/// change ships over the downlink with the same epoch gating as the
+/// classification path (decode steps completed before delivery still ran the
+/// old set; stale-epoch records are dropped), and is followed by a threshold
+/// re-tune once the window refills with new-epoch records.
 pub struct ApparateTokenPolicy {
     core: CoordinatedCore,
     name: String,
@@ -630,7 +647,7 @@ impl ApparateTokenPolicy {
         link: LinkCost,
     ) -> ApparateTokenPolicy {
         ApparateTokenPolicy {
-            core: CoordinatedCore::new(deployment, config, reference_batch, false, link),
+            core: CoordinatedCore::new(deployment, config, reference_batch, true, link),
             name: "apparate".to_string(),
         }
     }
@@ -668,6 +685,19 @@ impl ApparateTokenPolicy {
     /// Current per-ramp thresholds as deployed on the GPU.
     pub fn thresholds(&self) -> &[f64] {
         &self.core.gpu.thresholds
+    }
+
+    /// Currently active feasible-site indices (controller view; the GPU
+    /// converges one downlink delivery later).
+    pub fn active_sites(&self) -> &[usize] {
+        &self.core.controller.active_sites
+    }
+
+    /// Number of ramps in the plan the GPU is *currently executing* — trails
+    /// [`ApparateTokenPolicy::active_sites`] by the downlink latency after a
+    /// ramp-set change.
+    pub fn deployed_ramps(&self) -> usize {
+        self.core.gpu.plan.num_ramps()
     }
 
     /// Adaptation counters.
@@ -874,6 +904,159 @@ mod tests {
         drive(&mut policy, &batch, late);
         assert!(policy.stats().records_ingested > 0);
         assert!(policy.stats().tuning_rounds >= 1);
+    }
+
+    /// A generative-style deployment: decoder-head ramps, no bootstrap
+    /// training set (§3.1).
+    fn token_deployment(seed: u64) -> RampDeployment {
+        let model = zoo::llama2_7b();
+        let semantics = SemanticsModel::new(seed, model.descriptor.overparameterization);
+        deploy_budget_sites(
+            &model,
+            &semantics,
+            &ApparateConfig::default(),
+            RampArchitecture::Lightweight,
+            0,
+        )
+    }
+
+    /// Offline calibration tokens (uniformly easy-to-moderate) for
+    /// warm-starting the token controller.
+    fn token_calibration(n: u64) -> Vec<SampleSemantics> {
+        (0..n)
+            .map(|i| SampleSemantics::new(i * 131, 0.2 + 0.2 * ((i % 5) as f64 / 5.0)))
+            .collect()
+    }
+
+    fn slots(step: u64, batch: u64) -> Vec<TokenSlot> {
+        (0..batch)
+            .map(|i| TokenSlot {
+                request_id: i,
+                token_index: step as u32,
+                semantics: SampleSemantics::new(step * 977 + i, 0.3 + 0.2 * ((i % 5) as f64 / 5.0)),
+            })
+            .collect()
+    }
+
+    /// Serve one decode step the way the platform does: process it at `now`,
+    /// then stream its profile over the uplink at step completion. Returns
+    /// the outcome and the step completion time.
+    fn drive_token(
+        policy: &mut ApparateTokenPolicy,
+        step_slots: &[TokenSlot],
+        now: SimTime,
+    ) -> (StepOutcome, SimTime) {
+        let sender = policy.feedback_sender();
+        let out = policy.process_step(step_slots, now);
+        let completed = now + out.gpu_time;
+        if let Some(profile) = out.profile.clone() {
+            let ids: Vec<u64> = step_slots.iter().map(|s| s.request_id).collect();
+            sender.send(profile.into_record(completed, ids), completed);
+        }
+        (out, completed)
+    }
+
+    #[test]
+    fn token_controller_activates_and_deactivates_ramps_at_runtime() {
+        // The Algorithm 2 loop on the decode path: with enough delivered
+        // token observations the controller must re-select its active ramp
+        // set at least once (activate/deactivate by hindsight savings vs.
+        // overhead), re-tune thresholds afterwards, and drop the profiling
+        // records that predate the change (their observation vectors index
+        // the old ramp set).
+        let calibration = token_calibration(256);
+        let mut policy = ApparateTokenPolicy::warm_started(
+            token_deployment(3),
+            ApparateConfig::default(),
+            8,
+            &calibration,
+        );
+        let initial_sites = policy.active_sites().to_vec();
+        let mut now = SimTime::ZERO;
+        for step in 0..400u64 {
+            let (_, completed) = drive_token(&mut policy, &slots(step, 8), now);
+            now = completed;
+        }
+        let stats = policy.stats();
+        assert!(
+            stats.adjustment_rounds >= 1,
+            "the token controller must run Algorithm 2 rounds"
+        );
+        assert!(
+            stats.ramp_changes >= 1,
+            "the token controller must change the active ramp set at least once"
+        );
+        assert_ne!(
+            policy.active_sites(),
+            initial_sites.as_slice(),
+            "the active set should differ from the initial deployment"
+        );
+        assert!(
+            stats.records_dropped >= 1,
+            "records in flight across a ramp-set change must be dropped, not misread"
+        );
+        assert!(
+            stats.tuning_rounds >= 2,
+            "each ramp-set change must be followed by a threshold re-tune \
+             (warm start counts as the first round)"
+        );
+        // The active set stays sorted and within the site space.
+        let sites = policy.active_sites();
+        assert!(sites.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn token_ramp_set_changes_take_effect_only_after_downlink_delivery() {
+        // A link slow enough (0.25 s each way) that many decode steps complete
+        // between the controller's ramp-set decision and its delivery: every
+        // one of those steps must still execute the old ramp set — a ramp-set
+        // change never affects decode steps that completed before its
+        // delivery time.
+        let slow = LinkCost {
+            fixed_us: 250_000.0,
+            per_kib_us: 0.0,
+        };
+        let calibration = token_calibration(256);
+        let mut policy = ApparateTokenPolicy::warm_started_with_link(
+            token_deployment(3),
+            ApparateConfig::default(),
+            8,
+            &calibration,
+            slow,
+        );
+        let mut now = SimTime::ZERO;
+        let mut decision: Option<(SimTime, usize)> = None;
+        for step in 0..3_000u64 {
+            let before_changes = policy.stats().ramp_changes;
+            let deployed_before = policy.deployed_ramps();
+            let (_, completed) = drive_token(&mut policy, &slots(step, 8), now);
+            if decision.is_none() && policy.stats().ramp_changes > before_changes {
+                // The controller decided during this step's poll; the GPU
+                // plan it executed with was synced *before* any downlink
+                // delivery of that decision could exist.
+                decision = Some((now, deployed_before));
+                assert_eq!(
+                    policy.deployed_ramps(),
+                    deployed_before,
+                    "the GPU ramp set must not change in the decision step"
+                );
+            }
+            if let Some((t0, old_ramps)) = decision {
+                if policy.deployed_ramps() != old_ramps {
+                    let lag = now.saturating_since(t0);
+                    assert!(
+                        lag >= SimDuration::from_micros(250_000),
+                        "ramp set reached the GPU after {lag:?}, before the 0.25 s downlink latency"
+                    );
+                    return;
+                }
+            }
+            now = completed;
+        }
+        panic!(
+            "no GPU-visible ramp-set change observed (decision: {:?})",
+            decision.map(|(t, _)| t)
+        );
     }
 
     #[test]

@@ -15,20 +15,32 @@
 //! into N thinner profiling streams), while downlink updates can *drop* with
 //! N — each controller sees only its shard, so tuning windows fill N× more
 //! slowly and short shards may never trigger a retune after warm-start.
+//!
+//! [`run_generative_fleet`] is the decode-loop counterpart: the same three
+//! policy families over one shared generative request stream, whole sequences
+//! dispatched per replica (decode state cannot migrate), each Apparate
+//! replica running its own warm-started *token* controller — full Algorithm 2
+//! loop, ramp-set adjustment included — over its own charged link. Its tables
+//! read in TPT (time-per-token) instead of response latency.
 
-use apparate_baselines::{batch_time_fn, vanilla_policy, RampDeployment, StaticExitPolicy};
+use apparate_baselines::{
+    batch_time_fn, vanilla_policy, RampDeployment, StaticExitPolicy, StaticTokenPolicy,
+};
 use apparate_core::ApparateConfig;
 use apparate_exec::{LinkStats, OverheadReport};
 use apparate_serving::{
-    ExitPolicy, FleetDispatch, FleetOutcome, LatencySummary, ReplicaFleet, ReplicaServer,
-    TraceShard,
+    ExitPolicy, FleetDispatch, FleetOutcome, GenerativeFleetOutcome, GenerativeReplicaFleet,
+    LatencySummary, ReplicaFleet, ReplicaServer, RequestShard, TokenPolicy, TokenReplicaServer,
+    TraceShard, VanillaTokenPolicy,
 };
 use apparate_sim::SimDuration;
 
-use crate::controller::ApparatePolicy;
+use crate::controller::{ApparatePolicy, ApparateTokenPolicy};
 use crate::report::{ComparisonTable, OverheadRow};
 use crate::scenario::{
-    classification_fixture, scenario_config, ClassificationScenario, STATIC_THRESHOLD,
+    classification_fixture, generative_calibration, generative_fixture, generative_requests,
+    scenario_config, total_tokens, ClassificationScenario, GenerativeScenario, WorkloadTokens,
+    STATIC_THRESHOLD,
 };
 
 /// Result of serving one scenario with a fleet of N replicas.
@@ -208,19 +220,153 @@ fn apparate_fleet(
     (out, overhead)
 }
 
+/// Run the vanilla, static-EE and Apparate token-policy fleets of `replicas`
+/// replicas over a generative scenario's shared request stream. Whole
+/// sequences are dispatched (decode state cannot migrate); every replica runs
+/// the scenario's continuous-batching config, and each Apparate replica
+/// carries its own warm-started token controller over its own charged link —
+/// running the full Algorithm 2 loop, ramp-set adjustment included. The
+/// resulting [`FleetRun`] table is the TPT analogue of the classification
+/// fleet's latency table.
+pub fn run_generative_fleet(
+    scenario: &GenerativeScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+) -> FleetRun {
+    let config = scenario_config();
+    let (_, dep_budget) = generative_fixture(scenario, &config);
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    let budget_plan = dep_budget.plan.clone();
+    let requests = generative_requests(scenario);
+    let tokens = WorkloadTokens(&scenario.workload);
+    let calibration = generative_calibration(&scenario.workload);
+    // The dispatcher's per-token service estimate: the batch-1 decode-step
+    // time (what a production front end knows about the model); a request's
+    // projected service is this times its output length.
+    let per_token_estimate = SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(1));
+    let fleet = GenerativeReplicaFleet::new(replicas, dispatch, scenario.batching);
+    // Sharding depends only on arrivals, output lengths and dispatch, so all
+    // three policy families serve these exact shards.
+    let shards = fleet.shard(&requests, per_token_estimate);
+
+    let mut summaries: Vec<LatencySummary> = Vec::new();
+
+    // Vanilla fleet.
+    {
+        let mut policies: Vec<_> = (0..replicas)
+            .map(|_| {
+                VanillaTokenPolicy::new(|b| {
+                    SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(b))
+                })
+            })
+            .collect();
+        let servers: Vec<TokenReplicaServer<'_>> = policies
+            .iter_mut()
+            .map(|p| TokenReplicaServer {
+                policy: p as &mut dyn TokenPolicy,
+                feedback: None,
+            })
+            .collect();
+        let out = fleet.run_sharded(&shards, &tokens, servers);
+        summaries.push(out.summary("vanilla"));
+    }
+    // Static-EE fleet (fixed ramps, fixed threshold, no controller).
+    {
+        let mut policies: Vec<_> = (0..replicas)
+            .map(|_| StaticTokenPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee"))
+            .collect();
+        let servers: Vec<TokenReplicaServer<'_>> = policies
+            .iter_mut()
+            .map(|p| TokenReplicaServer {
+                policy: p as &mut dyn TokenPolicy,
+                feedback: None,
+            })
+            .collect();
+        let out = fleet.run_sharded(&shards, &tokens, servers);
+        summaries.push(out.summary("static-ee"));
+    }
+    // Apparate fleet: one warm-started token controller per replica, each
+    // over its own charged link.
+    let (apparate_out, overhead) = apparate_generative_fleet(
+        &fleet,
+        &shards,
+        &tokens,
+        &calibration,
+        &dep_budget,
+        config,
+        scenario.reference_batch,
+    );
+    summaries.push(apparate_out.summary("apparate"));
+
+    FleetRun {
+        scenario: scenario.name.clone(),
+        replicas,
+        dispatch,
+        table: ComparisonTable::new(
+            format!("{} ×{replicas} ({dispatch})", scenario.name),
+            "tpt",
+            summaries,
+        ),
+        overhead: OverheadRow {
+            scenario: format!("{} ×{replicas}", scenario.name),
+            requests: total_tokens(scenario),
+            report: overhead,
+        },
+        shard_sizes: apparate_out.shard_sizes,
+    }
+}
+
+/// Serve the pre-computed request shards with one Apparate token controller
+/// per replica and sum the per-replica coordination charges.
+fn apparate_generative_fleet(
+    fleet: &GenerativeReplicaFleet,
+    shards: &[RequestShard],
+    tokens: &WorkloadTokens<'_>,
+    calibration: &[apparate_exec::SampleSemantics],
+    dep_budget: &RampDeployment,
+    config: ApparateConfig,
+    reference_batch: u32,
+) -> (GenerativeFleetOutcome, OverheadReport) {
+    let mut policies: Vec<ApparateTokenPolicy> = (0..fleet.replicas)
+        .map(|_| {
+            ApparateTokenPolicy::warm_started(
+                dep_budget.clone(),
+                config,
+                reference_batch,
+                calibration,
+            )
+        })
+        .collect();
+    let servers: Vec<TokenReplicaServer<'_>> = policies
+        .iter_mut()
+        .map(|p| {
+            let feedback = Some(p.feedback_sender());
+            TokenReplicaServer {
+                policy: p as &mut dyn TokenPolicy,
+                feedback,
+            }
+        })
+        .collect();
+    let out = fleet.run_sharded(shards, tokens, servers);
+    let mut overhead = OverheadReport::default();
+    for policy in &policies {
+        let report = policy.overhead_report();
+        add_stats(&mut overhead.uplink, &report.uplink);
+        add_stats(&mut overhead.downlink, &report.downlink);
+    }
+    (out, overhead)
+}
+
 /// Render the scale-out summary across fleet sizes: one row per [`FleetRun`],
 /// showing the Apparate fleet's pooled latency, its wins against the vanilla
 /// fleet of the same size, and the summed coordination bill. Deterministic,
 /// like every other table in [`crate::report`].
 pub fn render_fleet_summary(runs: &[FleetRun]) -> String {
-    let mut out = String::new();
     let title = match runs.first() {
-        Some(run) => format!("== fleet scale-out ({}, {}) ", run.scenario, run.dispatch),
-        None => "== fleet scale-out ".to_string(),
+        Some(run) => format!("fleet scale-out ({}, {})", run.scenario, run.dispatch),
+        None => "fleet scale-out".to_string(),
     };
-    out.push_str(&title);
-    out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
-    out.push('\n');
+    let mut out = crate::report::title_rule(&title);
     out.push_str(&format!(
         "{:>8} {:>13} {:>9} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}\n",
         "replicas",

@@ -33,7 +33,8 @@ pub mod sweep;
 
 pub use controller::{ApparatePolicy, ApparateTokenPolicy, ControllerStats};
 pub use fleet::{
-    render_fleet_summary, run_classification_fleet, run_classification_fleet_with_config, FleetRun,
+    render_fleet_summary, run_classification_fleet, run_classification_fleet_with_config,
+    run_generative_fleet, FleetRun,
 };
 pub use report::{ComparisonTable, OverheadRow, OverheadTable, PolicyRow};
 pub use scenario::{

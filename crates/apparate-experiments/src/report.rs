@@ -11,6 +11,15 @@
 use apparate_exec::OverheadReport;
 use apparate_serving::{LatencySummary, LatencyWins};
 
+/// The table-title line every deterministic table shares: `== title ===…`
+/// padded to 96 display columns. Counted in characters, not bytes, so the
+/// multi-byte `×` in fleet/sweep scenario names doesn't shorten the rule.
+pub(crate) fn title_rule(title: &str) -> String {
+    let text = format!("== {title} ");
+    let width = text.chars().count();
+    format!("{text}{}\n", "=".repeat(96usize.saturating_sub(width)))
+}
+
 /// One policy's row: its summary and its wins against the vanilla row.
 #[derive(Debug, Clone)]
 pub struct PolicyRow {
@@ -65,11 +74,7 @@ impl ComparisonTable {
 
     /// Render the table as fixed-width text.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        let title = format!("== {} ", self.scenario);
-        out.push_str(&title);
-        out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
-        out.push('\n');
+        let mut out = title_rule(&self.scenario);
         out.push_str(&format!(
             "{:<14} {:>11} {:>11} {:>11} {:>7} {:>9} {:>6} {:>9} {:>9}\n",
             "policy",
@@ -157,11 +162,7 @@ impl OverheadTable {
     /// Render the table as fixed-width text (deterministic, like
     /// [`ComparisonTable::render`]).
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        let title = "== coordination overhead (§4.5) ".to_string();
-        out.push_str(&title);
-        out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
-        out.push('\n');
+        let mut out = title_rule("coordination overhead (§4.5)");
         out.push_str(&format!(
             "{:<35} {:>8} {:>9} {:>8} {:>9} {:>8} {:>9}\n",
             "scenario", "up msgs", "up KiB", "dn msgs", "dn KiB", "ms/msg", "total ms",

@@ -309,6 +309,21 @@ pub struct GenerativeScenario {
     pub seed: u64,
 }
 
+impl GenerativeScenario {
+    /// The scenario with its mean arrival rate scaled by `factor` — e.g. the
+    /// aggregate stream of `factor` tenants feeding one decode fleet. Like
+    /// [`ClassificationScenario::with_arrival_scale`], this is what makes
+    /// generative scale-out meaningful: a stream heavy enough that a single
+    /// replica's continuous batch pins at its cap (and sequences queue) while
+    /// N replicas decode comfortably thinner batches.
+    pub fn with_arrival_scale(mut self, factor: f64) -> GenerativeScenario {
+        assert!(factor > 0.0, "arrival scale must be positive");
+        self.arrival_rate *= factor;
+        self.name = format!("{} load×{factor}", self.name);
+        self
+    }
+}
+
 /// The paper's CV scenario: ResNet-50 over a night-time urban video stream
 /// (strong continuity, hard lighting, scene changes) at 60 fps aggregate.
 pub fn cv_scenario(seed: u64, frames: usize) -> ClassificationScenario {
@@ -682,6 +697,30 @@ pub fn generative_requests(scenario: &GenerativeScenario) -> Vec<Request> {
         .collect()
 }
 
+/// The per-scenario fixtures every generative runner derives from the
+/// experiment seed: the calibrated semantics model and Apparate's budgeted
+/// ramp deployment. Generative ramps reuse the decoder head, so no bootstrap
+/// training data is needed (§3.1). Centralised like
+/// [`classification_fixture`] so the full family run, the overhead path and
+/// the fleet runner all deploy the identical ramp set.
+pub(crate) fn generative_fixture(
+    scenario: &GenerativeScenario,
+    config: &ApparateConfig,
+) -> (SemanticsModel, RampDeployment) {
+    let semantics = SemanticsModel::new(
+        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
+        scenario.model.descriptor.overparameterization,
+    );
+    let dep_budget = deploy_budget_sites(
+        &scenario.model,
+        &semantics,
+        config,
+        RampArchitecture::Lightweight,
+        0,
+    );
+    (semantics, dep_budget)
+}
+
 /// Run the full policy family on a generative scenario.
 pub fn run_generative(scenario: &GenerativeScenario) -> ComparisonTable {
     run_generative_full(scenario).table
@@ -691,23 +730,11 @@ pub fn run_generative(scenario: &GenerativeScenario) -> ComparisonTable {
 /// Apparate run's coordination charges.
 pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
     let config = scenario_config();
-    let semantics = SemanticsModel::new(
-        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
-        scenario.model.descriptor.overparameterization,
-    );
     let requests = generative_requests(scenario);
     let tokens = WorkloadTokens(&scenario.workload);
     let sim = GenerativeSimulator::new(scenario.batching);
 
-    // Generative ramps reuse the decoder head, so no bootstrap training data
-    // is needed (§3.1).
-    let dep_budget = deploy_budget_sites(
-        &scenario.model,
-        &semantics,
-        &config,
-        RampArchitecture::Lightweight,
-        0,
-    );
+    let (semantics, dep_budget) = generative_fixture(scenario, &config);
     let dep_all = deploy_all_sites(
         &scenario.model,
         &semantics,
@@ -796,7 +823,7 @@ pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
 
 /// Total tokens a generative scenario emits (the per-token denominator for
 /// its overhead row).
-fn total_tokens(scenario: &GenerativeScenario) -> u64 {
+pub(crate) fn total_tokens(scenario: &GenerativeScenario) -> u64 {
     scenario
         .workload
         .sequences()
@@ -832,20 +859,10 @@ fn apparate_generative(
 /// §4.5 coordination charges (the cheap path behind [`run_overhead`]).
 pub fn run_generative_overhead(scenario: &GenerativeScenario) -> OverheadRow {
     let config = scenario_config();
-    let semantics = SemanticsModel::new(
-        DeterministicRng::new(scenario.seed).child(0x5E).seed(),
-        scenario.model.descriptor.overparameterization,
-    );
     let requests = generative_requests(scenario);
     let tokens = WorkloadTokens(&scenario.workload);
     let sim = GenerativeSimulator::new(scenario.batching);
-    let dep_budget = deploy_budget_sites(
-        &scenario.model,
-        &semantics,
-        &config,
-        RampArchitecture::Lightweight,
-        0,
-    );
+    let (_, dep_budget) = generative_fixture(scenario, &config);
     let calibration = generative_calibration(&scenario.workload);
     let (_, report) = apparate_generative(
         scenario,

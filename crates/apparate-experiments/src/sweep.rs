@@ -51,11 +51,7 @@ impl SweepTable {
 
     /// Render as fixed-width text (deterministic).
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        let title = format!("== {} ", self.title);
-        out.push_str(&title);
-        out.push_str(&"=".repeat(96usize.saturating_sub(title.len())));
-        out.push('\n');
+        let mut out = crate::report::title_rule(&self.title);
         out.push_str(&format!(
             "{:<24} {:>8} {:>8} {:>7} {:>6} {:>10} {:>10}\n",
             "knob", "win@p50", "win@p95", "acc", "exit%", "slo-viol", "(vanilla)",
@@ -136,11 +132,18 @@ pub fn accuracy_sweep(seed: u64, requests: usize, constraints: &[f64]) -> SweepT
     }
 }
 
-/// Run both sweeps on the given grid.
-pub fn sensitivity_sweeps(seed: u64, frames: usize, grid: &SensitivityGrid) -> Vec<SweepTable> {
+/// Run both sweeps on the given grid: the SLO sweep over a `frames`-frame CV
+/// stream, the accuracy sweep over an `nlp_requests`-request NLP stream. The
+/// sizes are independent — the two sweeps run different scenarios.
+pub fn sensitivity_sweeps(
+    seed: u64,
+    frames: usize,
+    nlp_requests: usize,
+    grid: &SensitivityGrid,
+) -> Vec<SweepTable> {
     vec![
         slo_sweep(seed, frames, &grid.slo_scales),
-        accuracy_sweep(seed, frames, &grid.accuracy_constraints),
+        accuracy_sweep(seed, nlp_requests, &grid.accuracy_constraints),
     ]
 }
 

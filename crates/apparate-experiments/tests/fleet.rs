@@ -1,8 +1,11 @@
 //! Acceptance tests for multi-replica scale-out: fleet runs must be
 //! deterministic, dispatch must respect its invariants, and scale-out must
-//! actually relieve an overloaded shared stream.
+//! actually relieve an overloaded shared stream — for both the
+//! classification fleet and the generative (decode-loop) fleet.
 
-use apparate_experiments::{cv_scenario, run_classification_fleet, FleetRun};
+use apparate_experiments::{
+    cv_scenario, generative_scenario, run_classification_fleet, run_generative_fleet, FleetRun,
+};
 use apparate_serving::FleetDispatch;
 
 fn fleet(replicas: usize) -> FleetRun {
@@ -95,6 +98,114 @@ fn provisioned_fleet_keeps_the_single_replica_win_and_accuracy() {
     // Four controllers, each over its own charged link: the fleet pays for
     // every replica's profiling stream.
     assert!(run.overhead.report.uplink.messages >= 4);
+}
+
+fn generative_fleet(seed: u64, replicas: usize) -> FleetRun {
+    // Eight tenants' aggregate summarisation stream (the `repro --sweep`
+    // regime): a single replica's continuous batch pins at its cap.
+    run_generative_fleet(
+        &generative_scenario(seed, 60).with_arrival_scale(8.0),
+        replicas,
+        FleetDispatch::LeastLoaded,
+    )
+}
+
+#[test]
+fn same_seed_produces_identical_generative_fleet_tables() {
+    let a = generative_fleet(42, 4);
+    let b = generative_fleet(42, 4);
+    assert_eq!(
+        a.table.render(),
+        b.table.render(),
+        "generative fleet tables must be byte-identical per seed"
+    );
+    assert_eq!(a.shard_sizes, b.shard_sizes);
+    assert_eq!(
+        a.overhead.report.uplink.messages,
+        b.overhead.report.uplink.messages
+    );
+    assert_eq!(
+        a.overhead.report.uplink.bytes,
+        b.overhead.report.uplink.bytes
+    );
+    assert_eq!(
+        a.overhead.report.downlink.messages,
+        b.overhead.report.downlink.messages
+    );
+    assert_eq!(
+        a.overhead.report.total_latency(),
+        b.overhead.report.total_latency()
+    );
+    let other = generative_fleet(7, 4);
+    assert_ne!(
+        a.table.render(),
+        other.table.render(),
+        "a different seed should change the numbers"
+    );
+}
+
+#[test]
+fn generative_dispatch_invariants_hold_at_every_fleet_size() {
+    for replicas in [1usize, 2, 4, 8] {
+        for dispatch in [FleetDispatch::RoundRobin, FleetDispatch::LeastLoaded] {
+            let run = run_generative_fleet(
+                &generative_scenario(42, 60).with_arrival_scale(8.0),
+                replicas,
+                dispatch,
+            );
+            assert_eq!(run.shard_sizes.len(), replicas);
+            assert_eq!(
+                run.shard_sizes.iter().sum::<usize>(),
+                60,
+                "{dispatch} x{replicas}: shards must partition the shared request stream"
+            );
+            let fair = 60 / replicas;
+            let min = run.shard_sizes.iter().copied().min().unwrap();
+            assert!(
+                min >= fair / 4,
+                "{dispatch} x{replicas}: a replica was starved ({min} of fair {fair})"
+            );
+        }
+    }
+}
+
+#[test]
+fn generative_scale_out_restores_the_tpt_win() {
+    // One replica saturates on the aggregate stream: its continuous batch
+    // pins at the cap, so the median TPT collapses toward the full-batch
+    // step time. Four replicas decode comfortably thin batches, restoring
+    // the single-replica-regime win, and the fleet's token bandwidth must
+    // scale well past one replica's saturation point.
+    let single = generative_fleet(42, 1);
+    let quad = generative_fleet(42, 4);
+    let single_row = single.apparate();
+    let quad_row = quad.apparate();
+    assert!(
+        quad_row.summary.latency_ms.p50 < single_row.summary.latency_ms.p50 / 5.0,
+        "4-replica median TPT {} ms should be far below saturated single-replica {} ms",
+        quad_row.summary.latency_ms.p50,
+        single_row.summary.latency_ms.p50
+    );
+    assert!(
+        quad_row.summary.throughput > 1.5 * single_row.summary.throughput,
+        "fleet token bandwidth {} tok/s should far exceed saturated single-replica {}",
+        quad_row.summary.throughput,
+        single_row.summary.throughput
+    );
+    assert!(
+        quad_row.summary.accuracy >= 0.97,
+        "fleet token agreement {} violates the constraint",
+        quad_row.summary.accuracy
+    );
+    assert!(
+        quad_row.wins.p50 > single_row.wins.p50,
+        "the provisioned fleet's win ({}%) must beat the saturated replica's ({}%)",
+        quad_row.wins.p50,
+        single_row.wins.p50
+    );
+    // Four token controllers, each over its own charged link: the fleet pays
+    // for every replica's decode-step profiling stream.
+    assert!(quad.overhead.report.uplink.messages >= 4);
 }
 
 #[test]

@@ -16,13 +16,28 @@
 //!   fleet-level latency/accuracy/throughput views (the fleet makespan is the
 //!   slowest replica's; latencies pool across every replica).
 //!
-//! The policies themselves stay pluggable exactly as in [`crate::platform`]:
-//! the fleet knows nothing about early exits, and an adaptive policy brings
-//! its own feedback link per replica (independent
+//! The generative analogue shards whole *sequences* instead of arrivals (a
+//! sequence's decode steps are stateful, so it must stay on one replica):
+//!
+//! * [`shard_requests`] / [`RequestShard`] — deterministic sharding of one
+//!   shared generative request stream, with the least-loaded backlog model
+//!   weighting each request by its output length;
+//! * [`GenerativeReplicaFleet`] — runs one [`TokenReplicaServer`] per shard
+//!   through the continuous-batching decode loop and returns a
+//!   [`GenerativeFleetOutcome`] (pooled TPT distribution, token-weighted
+//!   agreement, fleet token throughput).
+//!
+//! The policies themselves stay pluggable exactly as in [`crate::platform`] /
+//! [`crate::generative`]: the fleet knows nothing about early exits, and an
+//! adaptive policy brings its own feedback link per replica (independent
 //! [`LinkStats`](apparate_exec::LinkStats) per controller).
 
+use crate::generative::{
+    ContinuousBatchingConfig, GenerativeOutcome, GenerativeSimulator, TokenPolicy, TokenSemantics,
+};
 use crate::metrics::LatencySummary;
 use crate::platform::{ExitPolicy, ServingConfig, ServingOutcome, ServingSimulator};
+use crate::request::Request;
 use crate::traces::ArrivalTrace;
 use apparate_exec::{FeedbackSender, ProfileRecord, SampleSemantics};
 use apparate_sim::{Percentiles, SimDuration};
@@ -344,6 +359,266 @@ impl FleetOutcome {
     }
 }
 
+/// One replica's share of a shared generative request stream.
+#[derive(Debug, Clone)]
+pub struct RequestShard {
+    /// The replica's requests, with their *original* arrival times.
+    pub requests: Vec<Request>,
+    /// For each shard request, its index in the shared stream.
+    pub indices: Vec<usize>,
+}
+
+/// Deterministically shard a shared generative request stream across
+/// `replicas` replicas. Whole sequences are dispatched (a sequence's decode
+/// steps are stateful, so it cannot migrate); the [`FleetDispatch::LeastLoaded`]
+/// backlog model therefore weights each request by its output length:
+/// `output_tokens × per_token_estimate`, the decode time a front end would
+/// project from the model's batch-1 step time. `requests` must be in arrival
+/// order (the order the front end observes them).
+pub fn shard_requests(
+    requests: &[Request],
+    replicas: usize,
+    dispatch: FleetDispatch,
+    per_token_estimate: SimDuration,
+) -> Vec<RequestShard> {
+    assert!(replicas >= 1, "a fleet needs at least one replica");
+    let mut shards: Vec<RequestShard> = (0..replicas)
+        .map(|_| RequestShard {
+            requests: Vec::new(),
+            indices: Vec::new(),
+        })
+        .collect();
+    let mut backlog = vec![apparate_sim::SimTime::ZERO; replicas];
+    for (i, request) in requests.iter().enumerate() {
+        let r = match dispatch {
+            FleetDispatch::RoundRobin => i % replicas,
+            FleetDispatch::LeastLoaded => {
+                let r = (0..replicas)
+                    .min_by_key(|&r| (backlog[r], r))
+                    .expect("replicas >= 1");
+                let service = SimDuration::from_micros_f64(
+                    per_token_estimate.as_micros() as f64 * request.output_tokens.max(1) as f64,
+                );
+                backlog[r] = backlog[r].max(request.arrival) + service;
+                r
+            }
+        };
+        shards[r].requests.push(request.clone());
+        shards[r].indices.push(i);
+    }
+    shards
+}
+
+/// Everything one generative replica needs to serve its shard: a token policy
+/// and (for adaptive policies) the uplink handle its controller listens on.
+pub struct TokenReplicaServer<'a> {
+    /// The replica's token policy (each replica gets its own instance — fleet
+    /// replicas never share controller state).
+    pub policy: &'a mut dyn TokenPolicy,
+    /// Producer half of this replica's GPU → controller profiling link, if the
+    /// policy has a controller.
+    pub feedback: Option<FeedbackSender<ProfileRecord>>,
+}
+
+/// A fleet of identical continuous-batching replicas behind one dispatcher.
+#[derive(Debug, Clone)]
+pub struct GenerativeReplicaFleet {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Dispatch policy of the front end.
+    pub dispatch: FleetDispatch,
+    /// Per-replica continuous-batching configuration, identical across the
+    /// fleet.
+    pub batching: ContinuousBatchingConfig,
+}
+
+impl GenerativeReplicaFleet {
+    /// Create a generative fleet. Panics if `replicas` is zero.
+    pub fn new(
+        replicas: usize,
+        dispatch: FleetDispatch,
+        batching: ContinuousBatchingConfig,
+    ) -> GenerativeReplicaFleet {
+        assert!(replicas >= 1, "a fleet needs at least one replica");
+        GenerativeReplicaFleet {
+            replicas,
+            dispatch,
+            batching,
+        }
+    }
+
+    /// Shard a shared request stream across this fleet's replicas.
+    pub fn shard(
+        &self,
+        requests: &[Request],
+        per_token_estimate: SimDuration,
+    ) -> Vec<RequestShard> {
+        shard_requests(requests, self.replicas, self.dispatch, per_token_estimate)
+    }
+
+    /// Serve one shared request stream: shard it, then run every replica's
+    /// server over its shard via [`GenerativeReplicaFleet::run_sharded`].
+    pub fn run(
+        &self,
+        requests: &[Request],
+        semantics: &dyn TokenSemantics,
+        per_token_estimate: SimDuration,
+        servers: Vec<TokenReplicaServer<'_>>,
+    ) -> GenerativeFleetOutcome {
+        let shards = self.shard(requests, per_token_estimate);
+        self.run_sharded(&shards, semantics, servers)
+    }
+
+    /// Serve pre-computed shards (each replica is an independent
+    /// [`GenerativeSimulator`] with the fleet's batching config) and
+    /// aggregate. Sharding depends only on arrivals, output lengths and
+    /// dispatch, so callers comparing several policy families over the *same*
+    /// shards should shard once and call this per family. Token semantics are
+    /// keyed by request id, so the shared provider serves every replica
+    /// unchanged.
+    pub fn run_sharded(
+        &self,
+        shards: &[RequestShard],
+        semantics: &dyn TokenSemantics,
+        servers: Vec<TokenReplicaServer<'_>>,
+    ) -> GenerativeFleetOutcome {
+        assert_eq!(
+            servers.len(),
+            self.replicas,
+            "one server per replica is required"
+        );
+        assert_eq!(
+            shards.len(),
+            self.replicas,
+            "one shard per replica is required"
+        );
+        let sim = GenerativeSimulator::new(self.batching);
+        let mut per_replica = Vec::with_capacity(self.replicas);
+        let mut shard_sizes = Vec::with_capacity(self.replicas);
+        for (shard, server) in shards.iter().zip(servers) {
+            shard_sizes.push(shard.requests.len());
+            per_replica.push(sim.run_with_feedback(
+                &shard.requests,
+                semantics,
+                server.policy,
+                server.feedback.as_ref(),
+            ));
+        }
+        GenerativeFleetOutcome {
+            per_replica,
+            shard_sizes,
+        }
+    }
+}
+
+/// Aggregate result of one generative fleet run: per-replica outcomes plus
+/// fleet-level views over the pooled token records.
+#[derive(Debug, Clone)]
+pub struct GenerativeFleetOutcome {
+    /// One generative outcome per replica, in replica order.
+    pub per_replica: Vec<GenerativeOutcome>,
+    /// Requests dispatched to each replica (sums to the shared stream length).
+    pub shard_sizes: Vec<usize>,
+}
+
+impl GenerativeFleetOutcome {
+    /// Total tokens emitted across the fleet.
+    pub fn total_tokens(&self) -> usize {
+        self.per_replica.iter().map(|o| o.tokens.len()).sum()
+    }
+
+    /// Total completed requests across the fleet.
+    pub fn completed_requests(&self) -> usize {
+        self.per_replica.iter().map(|o| o.completed_requests).sum()
+    }
+
+    /// Smallest shard any replica received (starvation indicator).
+    pub fn min_shard(&self) -> usize {
+        self.shard_sizes.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Time-per-token values pooled across every replica, in milliseconds.
+    pub fn tpt_ms(&self) -> Vec<f64> {
+        self.per_replica.iter().flat_map(|o| o.tpt_ms()).collect()
+    }
+
+    /// Fleet makespan: replicas decode in parallel, so the fleet finishes
+    /// when its slowest replica does.
+    pub fn makespan(&self) -> SimDuration {
+        self.per_replica
+            .iter()
+            .map(|o| o.makespan)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Fleet generation throughput in tokens per second: total tokens over
+    /// the fleet makespan.
+    pub fn tokens_per_second(&self) -> f64 {
+        let secs = self.makespan().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_tokens() as f64 / secs
+    }
+
+    /// Token-weighted agreement rate with the original model across the fleet.
+    pub fn sequence_accuracy(&self) -> f64 {
+        let total = self.total_tokens();
+        if total == 0 {
+            return 1.0;
+        }
+        let correct: usize = self
+            .per_replica
+            .iter()
+            .map(|o| o.tokens.iter().filter(|t| t.correct).count())
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Token-weighted early-exit rate across the fleet.
+    pub fn exit_rate(&self) -> f64 {
+        let total = self.total_tokens();
+        if total == 0 {
+            return 0.0;
+        }
+        let exited: usize = self
+            .per_replica
+            .iter()
+            .map(|o| o.tokens.iter().filter(|t| t.exit_ramp.is_some()).count())
+            .sum();
+        exited as f64 / total as f64
+    }
+
+    /// Step-weighted mean decode-batch size across the fleet.
+    pub fn mean_batch_size(&self) -> f64 {
+        let steps: usize = self.per_replica.iter().map(|o| o.batch_sizes.len()).sum();
+        if steps == 0 {
+            return 0.0;
+        }
+        let items: u64 = self
+            .per_replica
+            .iter()
+            .flat_map(|o| o.batch_sizes.iter().map(|&b| b as u64))
+            .sum();
+        items as f64 / steps as f64
+    }
+
+    /// Summarise the fleet run over the pooled TPT samples, the way
+    /// [`LatencySummary::from_generative`] does for a single replica.
+    pub fn summary(&self, policy: impl Into<String>) -> LatencySummary {
+        LatencySummary {
+            policy: policy.into(),
+            latency_ms: Percentiles::from_samples(&self.tpt_ms()),
+            accuracy: self.sequence_accuracy(),
+            throughput: self.tokens_per_second(),
+            mean_batch_size: self.mean_batch_size(),
+            slo_violation_rate: 0.0,
+            exit_rate: self.exit_rate(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +731,163 @@ mod tests {
         assert!(out.throughput_rps() > 0.0);
         let summary = out.summary("vanilla");
         assert_eq!(summary.latency_ms.count, n);
+    }
+
+    use crate::generative::VanillaTokenPolicy;
+
+    struct UniformTokens;
+    impl TokenSemantics for UniformTokens {
+        fn token(&self, request_id: u64, token_index: u32) -> SampleSemantics {
+            SampleSemantics::new(request_id * 10_000 + token_index as u64, 0.4)
+        }
+    }
+
+    fn gen_requests(n: usize, tokens_each: u32, rate: f64) -> Vec<Request> {
+        let trace = ArrivalTrace::poisson(n, rate, 3);
+        trace
+            .times()
+            .iter()
+            .enumerate()
+            .map(|(i, &at)| {
+                Request::generative(
+                    i as u64,
+                    at,
+                    SampleSemantics::new(i as u64, 0.4),
+                    tokens_each,
+                )
+            })
+            .collect()
+    }
+
+    fn decode_time(b: u32) -> SimDuration {
+        SimDuration::from_micros(10_000 + 1_500 * b as u64)
+    }
+
+    #[test]
+    fn request_shards_partition_the_stream_for_both_dispatchers() {
+        let requests = gen_requests(100, 20, 10.0);
+        for dispatch in [FleetDispatch::RoundRobin, FleetDispatch::LeastLoaded] {
+            for n in [1usize, 2, 4, 8] {
+                let shards = shard_requests(&requests, n, dispatch, decode_time(1));
+                assert_eq!(shards.len(), n);
+                let total: usize = shards.iter().map(|s| s.requests.len()).sum();
+                assert_eq!(total, requests.len(), "{dispatch} x{n} loses/duplicates");
+                let mut seen: Vec<usize> = shards.iter().flat_map(|s| s.indices.clone()).collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..requests.len()).collect::<Vec<_>>());
+                for shard in &shards {
+                    for (&idx, request) in shard.indices.iter().zip(&shard.requests) {
+                        assert_eq!(request.arrival, requests[idx].arrival);
+                        assert_eq!(request.id, requests[idx].id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_weights_requests_by_output_length() {
+        // Two long sequences arriving back-to-back must land on different
+        // replicas: the backlog model charges output_tokens × per-token time,
+        // so after the first long request its replica is the loaded one.
+        let mut requests = gen_requests(8, 10, 1_000.0);
+        requests[0].output_tokens = 1_000;
+        requests[1].output_tokens = 1_000;
+        let shards = shard_requests(&requests, 2, FleetDispatch::LeastLoaded, decode_time(1));
+        let replica_of = |id: u64| {
+            shards
+                .iter()
+                .position(|s| s.requests.iter().any(|r| r.id == id))
+                .expect("dispatched")
+        };
+        assert_ne!(
+            replica_of(0),
+            replica_of(1),
+            "both long sequences piled onto one replica"
+        );
+    }
+
+    #[test]
+    fn generative_fleet_serves_every_token_and_aggregates() {
+        let requests = gen_requests(24, 15, 20.0);
+        let fleet = GenerativeReplicaFleet::new(
+            4,
+            FleetDispatch::LeastLoaded,
+            ContinuousBatchingConfig { max_batch_size: 8 },
+        );
+        let run = || {
+            let mut policies: Vec<_> = (0..4)
+                .map(|_| VanillaTokenPolicy::new(decode_time))
+                .collect();
+            let servers: Vec<TokenReplicaServer<'_>> = policies
+                .iter_mut()
+                .map(|p| TokenReplicaServer {
+                    policy: p,
+                    feedback: None,
+                })
+                .collect();
+            fleet.run(&requests, &UniformTokens, decode_time(1), servers)
+        };
+        let out = run();
+        assert_eq!(out.total_tokens(), 24 * 15);
+        assert_eq!(out.completed_requests(), 24);
+        assert_eq!(out.shard_sizes.iter().sum::<usize>(), 24);
+        assert!(out.min_shard() > 0);
+        assert!(out.sequence_accuracy() >= 1.0 - 1e-12);
+        assert_eq!(out.exit_rate(), 0.0);
+        assert!(out.tokens_per_second() > 0.0);
+        let summary = out.summary("vanilla");
+        assert_eq!(summary.latency_ms.count, 24 * 15);
+        // Replicas decode in parallel: the fleet makespan is the slowest
+        // replica's, not the sum.
+        let slowest = out.per_replica.iter().map(|o| o.makespan).max().unwrap();
+        assert_eq!(out.makespan(), slowest);
+        // Deterministic: same stream, same shards, same pooled outcome.
+        let again = run();
+        assert_eq!(out.shard_sizes, again.shard_sizes);
+        assert_eq!(out.tpt_ms(), again.tpt_ms());
+    }
+
+    #[test]
+    fn generative_fleet_scales_token_bandwidth_on_a_saturated_stream() {
+        // Arrivals far above one replica's decode capacity keep its continuous
+        // batch pinned at the cap while sequences queue; four replicas decode
+        // four thinner batches in parallel, so fleet token throughput must
+        // scale near-linearly and the pooled steady-state TPT must drop
+        // (smaller decode batches step faster).
+        let requests = gen_requests(48, 30, 1_000.0);
+        let run = |replicas: usize| {
+            let fleet = GenerativeReplicaFleet::new(
+                replicas,
+                FleetDispatch::LeastLoaded,
+                ContinuousBatchingConfig { max_batch_size: 16 },
+            );
+            let mut policies: Vec<_> = (0..replicas)
+                .map(|_| VanillaTokenPolicy::new(decode_time))
+                .collect();
+            let servers: Vec<TokenReplicaServer<'_>> = policies
+                .iter_mut()
+                .map(|p| TokenReplicaServer {
+                    policy: p,
+                    feedback: None,
+                })
+                .collect();
+            fleet.run(&requests, &UniformTokens, decode_time(1), servers)
+        };
+        let single = run(1);
+        let quad = run(4);
+        assert!(
+            quad.tokens_per_second() > 2.5 * single.tokens_per_second(),
+            "4-replica fleet bandwidth {} tok/s should far exceed saturated single-replica {}",
+            quad.tokens_per_second(),
+            single.tokens_per_second()
+        );
+        let single_p50 = Percentiles::from_samples(&single.tpt_ms()).p50;
+        let quad_p50 = Percentiles::from_samples(&quad.tpt_ms()).p50;
+        assert!(
+            quad_p50 < single_p50,
+            "4-replica median TPT {quad_p50} ms should beat single-replica {single_p50} ms"
+        );
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! * [`generative`] — continuous-batching decode loop with the analogous
 //!   [`TokenPolicy`] hook.
 //! * [`fleet`] — multi-replica scale-out: deterministic sharding of one
-//!   shared arrival trace across N replicas (round-robin / least-loaded
-//!   dispatch) and fleet-level outcome aggregation.
+//!   shared workload across N replicas (round-robin / least-loaded dispatch)
+//!   and fleet-level outcome aggregation, for both classification arrival
+//!   traces and generative request streams (whole sequences dispatched,
+//!   backlog weighted by output length).
 //! * [`metrics`] — latency/accuracy/throughput summaries and win computations.
 //!
 //! Entry points: [`ServingSimulator::run`] (single replica),
@@ -32,7 +34,9 @@ pub mod traces;
 
 pub use batching::{BatchDecision, BatchingPolicy};
 pub use fleet::{
-    shard_arrivals, FleetDispatch, FleetOutcome, ReplicaFleet, ReplicaServer, TraceShard,
+    shard_arrivals, shard_requests, FleetDispatch, FleetOutcome, GenerativeFleetOutcome,
+    GenerativeReplicaFleet, ReplicaFleet, ReplicaServer, RequestShard, TokenReplicaServer,
+    TraceShard,
 };
 pub use generative::{
     ContinuousBatchingConfig, GenerativeOutcome, GenerativeSimulator, StepOutcome, TokenOutcome,

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench [--quick|--smoke] [--seed N] [--suite NAME]... [--out PATH] [--list]
+//!       [--baseline PATH] [--max-regression PCT] [--summary-out PATH]
 //! ```
 //!
 //! Modes: default (full) takes tight samples for local perf work; `--quick`
@@ -10,8 +11,17 @@
 //! too and exists for the structural determinism test. `--suite` limits the
 //! run to the named suites (repeatable); `--out` writes the JSON-lines report
 //! (schema header + one line per benchmark).
+//!
+//! `--baseline` turns the run into CI's regression gate: after measuring, the
+//! per-suite medians are compared against the committed `BENCH_*.json` and
+//! the process exits 1 when a required suite (see
+//! [`apparate_bench::REQUIRED_SUITES`]) inflated more than `--max-regression`
+//! percent (default 25). `--summary-out` additionally writes the before/after
+//! table as markdown (for `$GITHUB_STEP_SUMMARY`).
 
-use apparate_bench::{render_json_lines, render_table, suites, BenchConfig, BenchContext};
+use apparate_bench::{
+    compare, parse_baseline, render_json_lines, render_table, suites, BenchConfig, BenchContext,
+};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -44,6 +54,9 @@ struct Args {
     out: Option<String>,
     suites: Vec<String>,
     list: bool,
+    baseline: Option<String>,
+    max_regression_pct: f64,
+    summary_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         suites: Vec::new(),
         list: false,
+        baseline: None,
+        max_regression_pct: 25.0,
+        summary_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -80,10 +96,25 @@ fn parse_args() -> Result<Args, String> {
                 args.suites.push(value);
             }
             "--list" => args.list = true,
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline requires a path")?);
+            }
+            "--max-regression" => {
+                let value = it.next().ok_or("--max-regression requires a percentage")?;
+                args.max_regression_pct = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p > 0.0)
+                    .ok_or_else(|| format!("invalid --max-regression: {value}"))?;
+            }
+            "--summary-out" => {
+                args.summary_out = Some(it.next().ok_or("--summary-out requires a path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--smoke] [--seed N] [--suite NAME]... \
-                     [--out PATH] [--list]"
+                     [--out PATH] [--list] [--baseline PATH] [--max-regression PCT] \
+                     [--summary-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -166,5 +197,57 @@ fn main() {
             std::process::exit(1);
         }
         println!("\nwrote {} benchmark reports to {path}", reports.len());
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("bench: failed reading baseline {path}: {error}");
+                std::process::exit(1);
+            }
+        };
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("bench: baseline {path} holds no parseable benchmark reports");
+            std::process::exit(1);
+        }
+        let verdict = compare::compare(&baseline, &reports, args.max_regression_pct);
+        println!("\nregression gate vs {path}:");
+        print!("{}", verdict.render_text());
+        if let Some(summary_path) = &args.summary_out {
+            if let Err(error) = std::fs::write(summary_path, verdict.render_markdown()) {
+                eprintln!("bench: failed writing {summary_path}: {error}");
+                std::process::exit(1);
+            }
+        }
+        if !verdict.passed() {
+            for row in verdict.regressions() {
+                if row.change_pct() > args.max_regression_pct {
+                    eprintln!(
+                        "bench: REGRESSION in required suite {}: median {:.3} -> {:.3} us ({:+.1}% > {:.0}%)",
+                        row.suite,
+                        row.baseline_median_us,
+                        row.current_median_us,
+                        row.change_pct(),
+                        args.max_regression_pct,
+                    );
+                } else if let Some((benchmark, pct)) = &row.worst_benchmark {
+                    eprintln!(
+                        "bench: REGRESSION in required suite {}: benchmark {benchmark} inflated {pct:+.1}% (> {:.0}%)",
+                        row.suite,
+                        verdict.benchmark_tolerance_pct(),
+                    );
+                }
+            }
+            for suite in &verdict.missing_required {
+                eprintln!("bench: required suite {suite} missing from the run or the baseline");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "gate passed: no required suite inflated more than {:.0}%",
+            args.max_regression_pct
+        );
     }
 }

@@ -1,0 +1,562 @@
+//! Baseline comparison behind CI's `bench-regression` gate.
+//!
+//! The committed `BENCH_apparate.json` is the perf trajectory's latest point;
+//! this module parses it back (the inverse of [`crate::report`]'s hand-rolled
+//! writer), aggregates per-suite medians over the benchmarks present in
+//! *both* the baseline and the fresh run (so adding a benchmark never trips
+//! the gate), and fails when a required suite's median inflated past the
+//! tolerance. The tolerance is deliberately generous (25 % by default):
+//! CI machines differ from the machine that produced the committed baseline,
+//! so the gate catches algorithmic blow-ups, not micro-noise.
+
+use crate::report::BenchReport;
+use crate::stats;
+
+/// Suites the regression gate enforces. The others (`adaptation`, `prep`,
+/// `sensitivity`, `e2e`) still appear in the report but only inform — their
+/// medians are either microseconds-scale (pure noise on shared CI runners) or
+/// already covered transitively by `e2e`'s components.
+pub const REQUIRED_SUITES: &[&str] = &["tuning", "serving", "generative", "overhead", "scale"];
+
+/// One `(suite, benchmark)` median parsed from a committed `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Suite name.
+    pub suite: String,
+    /// Benchmark name, unique within its suite.
+    pub benchmark: String,
+    /// Median per-iteration wall time (µs).
+    pub median_us: f64,
+}
+
+/// Extract the string value of `"key":"..."` from one JSON line, undoing the
+/// escapes [`crate::report::escape_json`] emits. `None` if the key is absent.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract the numeric value of `"key":123.45` from one JSON line. `None` if
+/// the key is absent or the value is not a finite number (`null` medians mark
+/// a broken run and must not silently pass the gate as a baseline).
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite())
+}
+
+/// Parse a committed `BENCH_*.json` back into per-benchmark medians. Lines
+/// without a `suite`/`benchmark`/`median_us` triple (the schema header, the
+/// overhead-link summary) are skipped.
+pub fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BaselineEntry {
+                suite: string_field(line, "suite")?,
+                benchmark: string_field(line, "benchmark")?,
+                median_us: number_field(line, "median_us")?,
+            })
+        })
+        .collect()
+}
+
+/// One suite's before/after aggregate in a [`RegressionReport`].
+#[derive(Debug, Clone)]
+pub struct SuiteComparison {
+    /// Suite name.
+    pub suite: String,
+    /// Whether the gate enforces this suite.
+    pub required: bool,
+    /// Benchmarks present in both the baseline and the current run.
+    pub common_benchmarks: usize,
+    /// Median of the common benchmarks' baseline medians (µs).
+    pub baseline_median_us: f64,
+    /// Median of the same benchmarks' current medians (µs).
+    pub current_median_us: f64,
+    /// The single common benchmark with the worst relative change, with that
+    /// change in percent. Guards the gap the suite median cannot see: a
+    /// blow-up confined to one non-median benchmark.
+    pub worst_benchmark: Option<(String, f64)>,
+}
+
+impl SuiteComparison {
+    /// Relative change of the suite median, in percent (positive = slower).
+    pub fn change_pct(&self) -> f64 {
+        if self.baseline_median_us <= 0.0 {
+            return 0.0;
+        }
+        (self.current_median_us / self.baseline_median_us - 1.0) * 100.0
+    }
+
+    /// The worst single-benchmark change in percent (0 with no common
+    /// benchmarks).
+    pub fn worst_benchmark_pct(&self) -> f64 {
+        self.worst_benchmark
+            .as_ref()
+            .map(|(_, pct)| *pct)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The regression gate's verdict: per-suite before/after medians plus the
+/// required suites missing from either side.
+#[derive(Debug, Clone)]
+pub struct RegressionReport {
+    /// One row per suite seen in the baseline or the current run, in current
+    /// run order (baseline-only suites last).
+    pub suites: Vec<SuiteComparison>,
+    /// Required suites with no common benchmarks between baseline and current
+    /// run — a hole in the trajectory, treated as a failure.
+    pub missing_required: Vec<String>,
+    /// Gate tolerance: a required suite fails above this inflation (%).
+    pub max_regression_pct: f64,
+}
+
+/// Single benchmarks are noisier than suite medians, so the per-benchmark
+/// guard trips at this multiple of the suite tolerance (4 × 25 % = a
+/// benchmark doubling).
+const BENCHMARK_TOLERANCE_FACTOR: f64 = 4.0;
+
+/// Median of the medians of the given suite's benchmarks restricted to names
+/// in `names`, or `None` if the intersection is empty.
+fn suite_median(entries: &[(String, String, f64)], suite: &str, names: &[String]) -> Option<f64> {
+    let medians: Vec<f64> = entries
+        .iter()
+        .filter(|(s, b, _)| s == suite && names.contains(b))
+        .map(|(_, _, m)| *m)
+        .collect();
+    if medians.is_empty() {
+        return None;
+    }
+    Some(stats::quantile(&stats::sorted_copy(&medians), 0.5))
+}
+
+/// Compare a fresh run against the committed baseline.
+pub fn compare(
+    baseline: &[BaselineEntry],
+    current: &[BenchReport],
+    max_regression_pct: f64,
+) -> RegressionReport {
+    let base: Vec<(String, String, f64)> = baseline
+        .iter()
+        .map(|e| (e.suite.clone(), e.benchmark.clone(), e.median_us))
+        .collect();
+    let cur: Vec<(String, String, f64)> = current
+        .iter()
+        .map(|r| (r.suite.clone(), r.benchmark.clone(), r.median_us))
+        .collect();
+    // Suite order: current run first (the authoritative registry order), then
+    // any baseline-only leftovers.
+    let mut suites: Vec<String> = Vec::new();
+    for (s, _, _) in cur.iter().chain(base.iter()) {
+        if !suites.contains(s) {
+            suites.push(s.clone());
+        }
+    }
+    let mut rows = Vec::new();
+    let mut missing_required = Vec::new();
+    for suite in &suites {
+        let common: Vec<String> = cur
+            .iter()
+            .filter(|(s, _, _)| s == suite)
+            .map(|(_, b, _)| b.clone())
+            .filter(|b| base.iter().any(|(s, bb, _)| s == suite && bb == b))
+            .collect();
+        let required = REQUIRED_SUITES.contains(&suite.as_str());
+        // Per-benchmark change over the intersection, for the worst-benchmark
+        // guard.
+        let worst_benchmark = common
+            .iter()
+            .filter_map(|b| {
+                let before = base
+                    .iter()
+                    .find(|(s, bb, _)| s == suite && bb == b)
+                    .map(|(_, _, m)| *m)?;
+                let after = cur
+                    .iter()
+                    .find(|(s, bb, _)| s == suite && bb == b)
+                    .map(|(_, _, m)| *m)?;
+                if before <= 0.0 {
+                    return None;
+                }
+                Some((b.clone(), (after / before - 1.0) * 100.0))
+            })
+            .max_by(|(_, a), (_, b)| a.total_cmp(b));
+        match (
+            suite_median(&base, suite, &common),
+            suite_median(&cur, suite, &common),
+        ) {
+            (Some(baseline_median_us), Some(current_median_us)) => rows.push(SuiteComparison {
+                suite: suite.clone(),
+                required,
+                common_benchmarks: common.len(),
+                baseline_median_us,
+                current_median_us,
+                worst_benchmark,
+            }),
+            _ if required => missing_required.push(suite.clone()),
+            _ => {}
+        }
+    }
+    // Required suites absent from both sides still count as missing.
+    for suite in REQUIRED_SUITES {
+        if !suites.iter().any(|s| s == suite) {
+            missing_required.push(suite.to_string());
+        }
+    }
+    RegressionReport {
+        suites: rows,
+        missing_required,
+        max_regression_pct,
+    }
+}
+
+impl RegressionReport {
+    /// Tolerance of the per-benchmark guard (%): single benchmarks are
+    /// noisier than suite medians, so they only fail at 4× the suite
+    /// tolerance (`BENCHMARK_TOLERANCE_FACTOR`).
+    pub fn benchmark_tolerance_pct(&self) -> f64 {
+        self.max_regression_pct * BENCHMARK_TOLERANCE_FACTOR
+    }
+
+    /// Whether one suite row fails the gate: its median inflated past the
+    /// tolerance, or a single common benchmark blew up past the (wider)
+    /// per-benchmark tolerance — a regression the suite median cannot see
+    /// when it hits a non-median benchmark.
+    fn row_regressed(&self, row: &SuiteComparison) -> bool {
+        row.required
+            && (row.change_pct() > self.max_regression_pct
+                || row.worst_benchmark_pct() > self.benchmark_tolerance_pct())
+    }
+
+    /// Required suites whose median (or single worst benchmark) inflated past
+    /// the tolerance.
+    pub fn regressions(&self) -> Vec<&SuiteComparison> {
+        self.suites
+            .iter()
+            .filter(|row| self.row_regressed(row))
+            .collect()
+    }
+
+    /// Whether the gate passes: no regression in a required suite and no
+    /// required suite missing.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty() && self.missing_required.is_empty()
+    }
+
+    /// The before/after table as GitHub-flavoured markdown, for the job
+    /// summary.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from(
+            "| suite | gate | baseline median (µs) | current median (µs) | change | worst benchmark | verdict |\n\
+             |---|---|---:|---:|---:|---|---|\n",
+        );
+        for row in &self.suites {
+            let verdict = if !row.required {
+                "info"
+            } else if self.row_regressed(row) {
+                "**REGRESSED**"
+            } else {
+                "ok"
+            };
+            let worst = row
+                .worst_benchmark
+                .as_ref()
+                .map(|(name, pct)| format!("{name} ({pct:+.1}%)"))
+                .unwrap_or_else(|| "—".to_string());
+            out.push_str(&format!(
+                "| {} | {} | {:.3} | {:.3} | {:+.1}% | {} | {} |\n",
+                row.suite,
+                if row.required {
+                    "required"
+                } else {
+                    "informational"
+                },
+                row.baseline_median_us,
+                row.current_median_us,
+                row.change_pct(),
+                worst,
+                verdict,
+            ));
+        }
+        for suite in &self.missing_required {
+            out.push_str(&format!(
+                "| {suite} | required | — | — | — | — | **MISSING** |\n"
+            ));
+        }
+        out.push_str(&format!(
+            "\ngate: fail when a required suite's median inflates more than {:.0}% over the \
+             committed baseline, or any single benchmark in it by more than {:.0}%.\n",
+            self.max_regression_pct,
+            self.benchmark_tolerance_pct(),
+        ));
+        out
+    }
+
+    /// The same table as fixed-width text, for the build log.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "{:<13} {:<13} {:>16} {:>16} {:>8}  verdict\n",
+            "suite", "gate", "baseline med us", "current med us", "change"
+        );
+        for row in &self.suites {
+            let verdict = if !row.required {
+                "info"
+            } else if self.row_regressed(row) {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<13} {:<13} {:>16.3} {:>16.3} {:>+7.1}%  {}\n",
+                row.suite,
+                if row.required { "required" } else { "info" },
+                row.baseline_median_us,
+                row.current_median_us,
+                row.change_pct(),
+                verdict,
+            ));
+        }
+        for suite in &self.missing_required {
+            out.push_str(&format!(
+                "{suite:<13} {:<13} {:>16} {:>16} {:>8}  MISSING\n",
+                "required", "-", "-", "-"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::render_json_lines;
+
+    fn report(suite: &str, benchmark: &str, median_us: f64) -> BenchReport {
+        BenchReport {
+            suite: suite.to_string(),
+            benchmark: benchmark.to_string(),
+            samples: 10,
+            iters: 1,
+            median_us,
+            p95_us: median_us * 1.2,
+            p99_us: median_us * 1.3,
+            mean_us: median_us * 1.05,
+            outliers_dropped: 0,
+        }
+    }
+
+    fn full_run(scale: f64) -> Vec<BenchReport> {
+        REQUIRED_SUITES
+            .iter()
+            .flat_map(|suite| {
+                (0..3).map(move |i| report(suite, &format!("bench-{i}"), 100.0 * (i + 1) as f64))
+            })
+            .map(|mut r| {
+                r.median_us *= scale;
+                r
+            })
+            .collect()
+    }
+
+    fn baseline_of(reports: &[BenchReport]) -> Vec<BaselineEntry> {
+        parse_baseline(&render_json_lines(42, "quick", reports))
+    }
+
+    #[test]
+    fn parsing_round_trips_the_writers_output() {
+        let reports = vec![
+            report("tuning", "greedy_tune/validation-window", 9618.7585),
+            report("scale", "fleet_run/cv-apparate/x8", 120_000.25),
+        ];
+        let entries = baseline_of(&reports);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].suite, "tuning");
+        assert_eq!(entries[0].benchmark, "greedy_tune/validation-window");
+        assert!((entries[0].median_us - 9618.7585).abs() < 1e-9);
+        assert!((entries[1].median_us - 120_000.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parsing_skips_header_summary_and_null_medians() {
+        let text = concat!(
+            "{\"schema\":\"apparate-bench/v1\",\"seed\":42,\"mode\":\"quick\",\"suites\":[\"tuning\"]}\n",
+            "{\"suite\":\"tuning\",\"benchmark\":\"ok\",\"samples\":3,\"iters\":1,\"median_us\":10.5,\"p95_us\":11,\"p99_us\":12,\"mean_us\":10.6,\"outliers_dropped\":0}\n",
+            "{\"suite\":\"tuning\",\"benchmark\":\"broken\",\"samples\":3,\"iters\":1,\"median_us\":null,\"p95_us\":11,\"p99_us\":12,\"mean_us\":10.6,\"outliers_dropped\":0}\n",
+            "{\"schema\":\"apparate-bench/overhead-link/v1\",\"seed\":42,\"scenarios\":3,\"messages\":100,\"bytes\":1000,\"mean_link_latency_ms\":0.4500}\n",
+        );
+        let entries = parse_baseline(text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].benchmark, "ok");
+    }
+
+    #[test]
+    fn unchanged_run_passes_the_gate() {
+        let current = full_run(1.0);
+        let verdict = compare(&baseline_of(&current), &current, 25.0);
+        assert!(verdict.passed(), "identical medians must pass");
+        assert!(verdict.missing_required.is_empty());
+        for row in &verdict.suites {
+            assert!(row.change_pct().abs() < 1e-9);
+            assert_eq!(row.common_benchmarks, 3);
+        }
+    }
+
+    #[test]
+    fn inflating_a_required_suite_median_past_25_pct_fails() {
+        // The acceptance check for the CI gate: a >25 % slowdown in one
+        // required suite (a sleep injected into its benchmarks) must fail.
+        let baseline = baseline_of(&full_run(1.0));
+        let mut current = full_run(1.0);
+        for r in current.iter_mut().filter(|r| r.suite == "generative") {
+            r.median_us *= 1.30;
+        }
+        let verdict = compare(&baseline, &current, 25.0);
+        assert!(!verdict.passed());
+        let regressions = verdict.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].suite, "generative");
+        assert!((regressions[0].change_pct() - 30.0).abs() < 1e-6);
+        // 20 % inflation stays inside the tolerance.
+        let mut mild = full_run(1.0);
+        for r in mild.iter_mut().filter(|r| r.suite == "generative") {
+            r.median_us *= 1.20;
+        }
+        assert!(compare(&baseline, &mild, 25.0).passed());
+    }
+
+    #[test]
+    fn a_blow_up_hidden_from_the_suite_median_still_fails() {
+        // The suite median cannot see a regression confined to one non-median
+        // benchmark; the per-benchmark guard (4 × the suite tolerance) must.
+        let baseline = baseline_of(&full_run(1.0));
+        let mut current = full_run(1.0);
+        // bench-2 is the suite maximum (300 µs): inflating it 100× leaves the
+        // suite median (bench-1, 200 µs) untouched.
+        let victim = current
+            .iter_mut()
+            .find(|r| r.suite == "scale" && r.benchmark == "bench-2")
+            .expect("fixture benchmark");
+        victim.median_us *= 100.0;
+        let verdict = compare(&baseline, &current, 25.0);
+        let scale = verdict
+            .suites
+            .iter()
+            .find(|r| r.suite == "scale")
+            .expect("scale row");
+        assert!(
+            scale.change_pct().abs() < 1e-9,
+            "the suite median must indeed be blind to this blow-up"
+        );
+        assert_eq!(
+            scale.worst_benchmark,
+            Some(("bench-2".to_string(), 9_900.0))
+        );
+        assert!(!verdict.passed(), "the worst-benchmark guard must trip");
+        assert_eq!(verdict.regressions()[0].suite, "scale");
+        // A mild single-benchmark wobble (+50 % < the 100 % per-benchmark
+        // tolerance) stays inside the gate.
+        let mut mild = full_run(1.0);
+        mild.iter_mut()
+            .find(|r| r.suite == "scale" && r.benchmark == "bench-2")
+            .expect("fixture benchmark")
+            .median_us *= 1.5;
+        assert!(compare(&baseline, &mild, 25.0).passed());
+    }
+
+    #[test]
+    fn informational_suites_never_fail_the_gate() {
+        let mut reports = full_run(1.0);
+        reports.push(report("sensitivity", "offline_tune/acc-1pct", 50.0));
+        let baseline = baseline_of(&reports);
+        let mut current = reports.clone();
+        for r in current.iter_mut().filter(|r| r.suite == "sensitivity") {
+            r.median_us *= 10.0;
+        }
+        let verdict = compare(&baseline, &current, 25.0);
+        assert!(verdict.passed(), "a 10x informational blow-up only informs");
+        let row = verdict
+            .suites
+            .iter()
+            .find(|r| r.suite == "sensitivity")
+            .expect("informational row still rendered");
+        assert!(!row.required);
+        assert!(row.change_pct() > 100.0);
+    }
+
+    #[test]
+    fn a_required_suite_missing_from_the_run_fails() {
+        let baseline = baseline_of(&full_run(1.0));
+        let current: Vec<BenchReport> = full_run(1.0)
+            .into_iter()
+            .filter(|r| r.suite != "scale")
+            .collect();
+        let verdict = compare(&baseline, &current, 25.0);
+        assert!(!verdict.passed());
+        assert_eq!(verdict.missing_required, vec!["scale".to_string()]);
+    }
+
+    #[test]
+    fn renamed_benchmarks_compare_over_the_intersection_only() {
+        let baseline = baseline_of(&full_run(1.0));
+        let mut current = full_run(1.0);
+        // A new benchmark with a huge median must not trip the gate: it has
+        // no baseline counterpart yet.
+        current.push(report("scale", "fleet_run/new-workload/x8", 1e9));
+        let verdict = compare(&baseline, &current, 25.0);
+        assert!(verdict.passed());
+        let scale = verdict
+            .suites
+            .iter()
+            .find(|r| r.suite == "scale")
+            .expect("scale row");
+        assert_eq!(scale.common_benchmarks, 3);
+    }
+
+    #[test]
+    fn markdown_table_shows_before_and_after() {
+        let baseline = baseline_of(&full_run(1.0));
+        let mut current = full_run(1.0);
+        for r in current.iter_mut().filter(|r| r.suite == "overhead") {
+            r.median_us *= 1.5;
+        }
+        let verdict = compare(&baseline, &current, 25.0);
+        let md = verdict.render_markdown();
+        assert!(md.contains("| overhead | required | 200.000 | 300.000 | +50.0% |"));
+        assert!(md.contains("**REGRESSED**"));
+        assert!(md.contains("| tuning | required | 200.000 | 200.000 | +0.0% |"));
+        assert!(
+            md.contains("(+50.0%)"),
+            "worst-benchmark column is rendered"
+        );
+        let text = verdict.render_text();
+        assert!(text.contains("REGRESSED"));
+    }
+}

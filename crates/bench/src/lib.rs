@@ -13,6 +13,8 @@
 //! * [`suites`] — the nine suites measuring the workspace's hot paths (from
 //!   Algorithm 1 micro-benchmarks up to multi-replica fleet runs);
 //!   `benches/bench_*.rs` and the `bench` binary both dispatch into them.
+//! * [`compare`] — the baseline parser and per-suite regression gate behind
+//!   CI's `bench-regression` job (`bench --baseline BENCH_apparate.json`).
 //!
 //! Run everything and write the consolidated perf-trajectory file with:
 //!
@@ -23,11 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod harness;
 pub mod report;
 pub mod stats;
 pub mod suites;
 
+pub use compare::{parse_baseline, BaselineEntry, RegressionReport, REQUIRED_SUITES};
 pub use harness::{run_bench, BenchConfig};
 pub use report::{escape_json, json_number, render_json_lines, render_table, BenchReport};
 pub use suites::{run_all, run_suite, suite_names, BenchContext, SUITES};

@@ -10,7 +10,7 @@
 //! | `sensitivity` | accuracy/ramp-budget sweep points                        |
 //! | `e2e`         | repro quick-run scenarios (`apparate-experiments`)       |
 //! | `overhead`    | GPU↔controller feedback link + controller-in-the-loop    |
-//! | `scale`       | multi-replica fleet runs at 1/2/4/8 replicas + sharding  |
+//! | `scale`       | CV + generative fleet runs across replica counts + sharding |
 //!
 //! Every suite is a plain function from a [`BenchContext`] to a list of
 //! [`BenchReport`]s, registered in [`SUITES`]. Fixtures are built once per
@@ -608,7 +608,9 @@ fn overhead(ctx: &BenchContext) -> Vec<BenchReport> {
 
 fn scale(ctx: &BenchContext) -> Vec<BenchReport> {
     const SUITE: &str = "scale";
-    use apparate_experiments::{cv_scenario, run_classification_fleet};
+    use apparate_experiments::{
+        cv_scenario, generative_scenario, run_classification_fleet, run_generative_fleet,
+    };
     use apparate_serving::{shard_arrivals, FleetDispatch};
 
     // The fleet fixture: the CV comparison scenario over a shared trace, one
@@ -616,6 +618,12 @@ fn scale(ctx: &BenchContext) -> Vec<BenchReport> {
     // Wall time across 1/2/4/8 replicas tracks the per-replica controller
     // cost (N warm-starts, N links) on a fixed total workload.
     let scenario = cv_scenario(ctx.seed, ctx.scaled(1_200));
+    // The generative fleet fixture: the summarisation scenario's aggregate
+    // stream (the `repro --sweep` regime), whole sequences dispatched, one
+    // warm-started *token* controller per replica running the full
+    // Algorithm 2 loop — the decode-path cost the classification fleet
+    // cannot see.
+    let generative = generative_scenario(ctx.seed, ctx.scaled(24)).with_arrival_scale(8.0);
     // Dispatcher micro-benchmark fixture: a bursty shared stream.
     let trace = ArrivalTrace::maf_like(
         ctx.scaled(10_000),
@@ -633,6 +641,13 @@ fn scale(ctx: &BenchContext) -> Vec<BenchReport> {
                 run_classification_fleet(&scenario, replicas, FleetDispatch::LeastLoaded)
             }),
         );
+    }
+    for replicas in [1usize, 4, 8] {
+        reports.push(ctx.bench(
+            SUITE,
+            &format!("fleet_run/gen-apparate/x{replicas}"),
+            || run_generative_fleet(&generative, replicas, FleetDispatch::LeastLoaded),
+        ));
     }
     reports
 }

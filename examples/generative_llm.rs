@@ -33,26 +33,32 @@ struct TraceRow {
     step: usize,
     at: SimTime,
     thresholds: Vec<f64>,
+    deployed_ramps: usize,
     ingested: usize,
     tuning_rounds: usize,
+    ramp_changes: usize,
 }
 
-/// Wraps the token controller and snapshots its GPU-side thresholds after
-/// every decode step, recording a row whenever they change (i.e. whenever a
-/// downlink update has landed).
+/// Wraps the token controller and snapshots its GPU-side configuration after
+/// every decode step, recording a row whenever it changes (i.e. whenever a
+/// downlink update has landed) — thresholds *and* the active ramp set, now
+/// that the token controller runs the full Algorithm 2 loop.
 struct TracingPolicy {
     inner: ApparateTokenPolicy,
     step: usize,
     rows: Vec<TraceRow>,
-    last: Vec<f64>,
+    last: (usize, Vec<f64>),
 }
 
 impl TracingPolicy {
     /// Keep a row whenever a landed downlink update changed the GPU-side
-    /// thresholds, plus a heartbeat row every 512 steps (re-tunes that land
-    /// identical thresholds are otherwise invisible).
+    /// ramp set or thresholds, plus a heartbeat row every 512 steps (re-tunes
+    /// that land identical thresholds are otherwise invisible).
     fn record(&mut self, at: SimTime) {
-        let current = self.inner.thresholds().to_vec();
+        let current = (
+            self.inner.deployed_ramps(),
+            self.inner.thresholds().to_vec(),
+        );
         let heartbeat = self
             .rows
             .last()
@@ -63,9 +69,11 @@ impl TracingPolicy {
             self.rows.push(TraceRow {
                 step: self.step,
                 at,
-                thresholds: current.clone(),
+                deployed_ramps: current.0,
+                thresholds: current.1.clone(),
                 ingested: stats.records_ingested,
                 tuning_rounds: stats.tuning_rounds,
+                ramp_changes: stats.ramp_changes,
             });
             self.last = current;
         }
@@ -139,7 +147,7 @@ fn main() {
         inner,
         step: 0,
         rows: Vec::new(),
-        last: Vec::new(),
+        last: (0, Vec::new()),
     };
     let sim = GenerativeSimulator::new(scenario.batching);
     let tokens = WorkloadTokens(&scenario.workload);
@@ -147,12 +155,12 @@ fn main() {
 
     // -- The adaptation trace ----------------------------------------------
     println!(
-        "\nthreshold adaptation trace (a row per changed GPU-side configuration,\n\
-         heartbeat every 512 decode steps):"
+        "\nadaptation trace (a row per changed GPU-side configuration — ramp set or\n\
+         thresholds — heartbeat every 512 decode steps):"
     );
     println!(
-        "{:>6} {:>10} {:>8} {:>6}  GPU-side thresholds per ramp",
-        "step", "t (s)", "records", "tunes"
+        "{:>6} {:>10} {:>8} {:>6} {:>7} {:>6}  GPU-side thresholds per ramp",
+        "step", "t (s)", "records", "tunes", "adjust", "ramps"
     );
     for row in &policy.rows {
         let thresholds = row
@@ -162,26 +170,36 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ");
         println!(
-            "{:>6} {:>10.2} {:>8} {:>6}  [{}]",
+            "{:>6} {:>10.2} {:>8} {:>6} {:>7} {:>6}  [{}]",
             row.step,
             row.at.as_secs_f64(),
             row.ingested,
             row.tuning_rounds,
+            row.ramp_changes,
+            row.deployed_ramps,
             thresholds,
         );
     }
     let stats = policy.inner.stats();
     println!(
         "\nthe controller ingested {} decode-step profiling records off the uplink, ran\n\
-         {} threshold-tuning rounds, and shipped {} updates down to the GPU — each\n\
-         taking effect only after its downlink delivery. Llama2's summarisation tokens\n\
-         are uniformly easy, so every re-tune confirms the confidence cap and\n\
-         {} of {} tokens exit early.",
+         {} threshold-tuning rounds and {} Algorithm 2 adjustment rounds ({} of which\n\
+         changed the active ramp set — activating/deactivating decoder-depth ramps by\n\
+         hindsight savings vs. overhead, dropping {} stale-epoch records), and shipped\n\
+         {} updates down to the GPU — each taking effect only after its downlink\n\
+         delivery. {} of {} tokens exit early.",
         stats.records_ingested,
         stats.tuning_rounds,
+        stats.adjustment_rounds,
+        stats.ramp_changes,
+        stats.records_dropped,
         stats.updates_sent,
         out.tokens.iter().filter(|t| t.exit_ramp.is_some()).count(),
         out.tokens.len(),
+    );
+    assert!(
+        stats.ramp_changes >= 1,
+        "the generative walkthrough must show at least one runtime ramp-set change"
     );
 
     // -- The paper-style comparison ----------------------------------------
