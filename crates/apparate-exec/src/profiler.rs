@@ -22,6 +22,7 @@
 use crate::engine::RampPlacement;
 use crate::semantics::RampObservation;
 use apparate_sim::{SimDuration, SimTime};
+use apparate_telemetry::{EventKind, LinkDirection, Telemetry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -206,6 +207,8 @@ pub struct FeedbackSender<T> {
     tx: Sender<InFlight<T>>,
     cost: LinkCost,
     stats: Arc<Mutex<LinkStats>>,
+    telemetry: Telemetry,
+    direction: LinkDirection,
 }
 
 // Manual impl: `std::sync::mpsc::Sender` (the offline crossbeam stand-in) is
@@ -216,6 +219,8 @@ impl<T> Clone for FeedbackSender<T> {
             tx: self.tx.clone(),
             cost: self.cost,
             stats: Arc::clone(&self.stats),
+            telemetry: self.telemetry.clone(),
+            direction: self.direction,
         }
     }
 }
@@ -239,6 +244,8 @@ pub fn feedback_link<T: WirePayload>(cost: LinkCost) -> (FeedbackSender<T>, Feed
             tx,
             cost,
             stats: Arc::clone(&stats),
+            telemetry: Telemetry::disabled(),
+            direction: LinkDirection::Up,
         },
         FeedbackReceiver {
             rx,
@@ -253,15 +260,30 @@ impl<T: WirePayload> FeedbackSender<T> {
     /// which the receiver will have it (send time + transfer latency).
     /// Sending never blocks the simulated producer.
     pub fn send(&self, payload: T, sent_at: SimTime) -> SimTime {
-        let latency = self.cost.transfer_latency(payload.wire_bytes());
+        let wire_bytes = payload.wire_bytes();
+        let latency = self.cost.transfer_latency(wire_bytes);
         let deliver_at = sent_at + latency;
         let seq = {
             let mut stats = self.stats.lock();
             stats.messages += 1;
-            stats.bytes += payload.wire_bytes();
+            stats.bytes += wire_bytes;
             stats.total_latency += latency;
             stats.messages
         };
+        if self.telemetry.is_enabled() {
+            let direction = self.direction;
+            self.telemetry.emit(sent_at, || EventKind::LinkMessage {
+                direction,
+                bytes: wire_bytes,
+                latency_us: latency.as_micros(),
+            });
+            let (messages, bytes) = match direction {
+                LinkDirection::Up => ("link_up_messages", "link_up_bytes"),
+                LinkDirection::Down => ("link_down_messages", "link_down_bytes"),
+            };
+            self.telemetry.counter(messages, 1);
+            self.telemetry.counter(bytes, wire_bytes);
+        }
         // The receiver may have been dropped (e.g. controller shut down); the
         // producer must not care.
         let _ = self.tx.send((deliver_at, seq, payload));
@@ -271,6 +293,15 @@ impl<T: WirePayload> FeedbackSender<T> {
     /// The cost model this sender charges.
     pub fn cost(&self) -> LinkCost {
         self.cost
+    }
+
+    /// Attach a telemetry handle: every subsequent `send` (from this sender
+    /// and clones made *after* this call) records a `link-message` event and
+    /// bumps the per-direction message/byte counters. Call before handing
+    /// out clones so the whole stream is traced.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, direction: LinkDirection) {
+        self.telemetry = telemetry;
+        self.direction = direction;
     }
 
     /// Snapshot of this direction's statistics.
@@ -380,6 +411,24 @@ mod tests {
         assert_eq!(stats.messages, 5);
         assert!(stats.bytes > 0);
         assert!(stats.mean_latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn traced_sends_reconcile_with_link_stats() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let (mut tx, rx) = feedback_link(LinkCost::default());
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        tx.set_telemetry(telemetry.clone(), LinkDirection::Up);
+        for i in 0..5 {
+            let rec = record(i, 2);
+            tx.send(rec.clone(), rec.completed_at);
+        }
+        let stats = rx.stats();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.count_kind("link-message") as u64, stats.messages);
+        assert_eq!(snap.counter_total("link_up_messages"), stats.messages);
+        assert_eq!(snap.counter_total("link_up_bytes"), stats.bytes);
+        assert_eq!(snap.counter_total("link_down_messages"), 0);
     }
 
     #[test]

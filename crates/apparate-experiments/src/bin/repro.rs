@@ -13,23 +13,37 @@
 //!
 //! ```text
 //! repro [--seed N] [--quick] [--scenario cv|nlp|generative|all] [--sweep]
+//!       [--trace-out PATH] [--metrics-out PATH] [--chrome-out PATH]
 //! ```
 //!
 //! `--sweep` switches to the scale-out/sensitivity mode: fleet-level win
 //! tables for 1/2/4/8 replicas over the shared CV trace *and* the shared
 //! generative request stream (least-loaded dispatch), then the SLO
 //! (Figure 17) and accuracy-constraint (Figure 19) sensitivity grids.
+//!
+//! The `--*-out` flags enable telemetry: the Apparate runs (baselines stay
+//! untraced) record the structured event trace and the sampled metrics
+//! registry, written after the tables as JSON-lines (`--trace-out`,
+//! `--metrics-out`) and/or a chrome://tracing array (`--chrome-out`). Without
+//! them the sink is the zero-cost no-op and the tables are byte-identical to
+//! an untraced build. An unwritable path is a hard error (exit 1) — partial
+//! observability must not look like success.
 
 use apparate_experiments::{
-    render_fleet_summary, run_classification_fleet, run_generative_fleet, run_scenarios_full,
-    sensitivity_sweeps, OverheadTable, ReproSizes, ScenarioSelect, SensitivityGrid,
+    render_fleet_summary, run_classification_fleet, run_classification_fleet_traced,
+    run_generative_fleet, run_scenarios_traced, scenario_config, sensitivity_sweeps, OverheadTable,
+    ReproSizes, ScenarioSelect, SensitivityGrid,
 };
 use apparate_serving::FleetDispatch;
+use apparate_telemetry::{
+    render_chrome_trace, render_metrics_json_lines, render_trace_json_lines, Telemetry,
+    TelemetryConfig,
+};
 
 /// One-line usage synopsis, printed by `--help` and after every argument
 /// error (exit code 2).
-const USAGE: &str =
-    "usage: repro [--seed N] [--quick] [--scenario cv|nlp|generative|all] [--sweep]";
+const USAGE: &str = "usage: repro [--seed N] [--quick] [--scenario cv|nlp|generative|all] \
+     [--sweep] [--trace-out PATH] [--metrics-out PATH] [--chrome-out PATH]";
 
 #[derive(Debug, PartialEq)]
 struct Args {
@@ -37,6 +51,16 @@ struct Args {
     quick: bool,
     scenario: Option<ScenarioSelect>,
     sweep: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    chrome_out: Option<String>,
+}
+
+impl Args {
+    /// True when any export flag was given, i.e. the run should record.
+    fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.chrome_out.is_some()
+    }
 }
 
 /// Parse command-line arguments (exclusive of the binary name). Pure so the
@@ -47,6 +71,9 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         quick: false,
         scenario: None,
         sweep: false,
+        trace_out: None,
+        metrics_out: None,
+        chrome_out: None,
     };
     let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
@@ -62,6 +89,15 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             "--scenario" => {
                 let value = it.next().ok_or("--scenario requires a value")?;
                 args.scenario = Some(value.parse()?);
+            }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("--trace-out requires a path")?);
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out requires a path")?);
+            }
+            "--chrome-out" => {
+                args.chrome_out = Some(it.next().ok_or("--chrome-out requires a path")?);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -92,6 +128,55 @@ fn emit(text: &str) {
     }
 }
 
+/// Write one telemetry export file, or die with exit 1: a run that was asked
+/// for a trace and silently lost it would read as "nothing noteworthy
+/// happened", which is the one lie an observability tool must not tell.
+fn write_export(path: &str, contents: &str, what: &str) {
+    if let Err(error) = std::fs::write(path, contents) {
+        eprintln!("repro: cannot write {what} to {path}: {error}");
+        std::process::exit(1);
+    }
+}
+
+/// Snapshot the recorder and write every requested export, then print an
+/// explicit accounting line (captured *and* dropped counts — bounded buffers
+/// never truncate silently).
+fn export_telemetry(args: &Args, telemetry: &Telemetry) {
+    let Some(snapshot) = telemetry.snapshot() else {
+        return;
+    };
+    if let Some(path) = &args.trace_out {
+        write_export(path, &render_trace_json_lines(&snapshot), "event trace");
+    }
+    if let Some(path) = &args.metrics_out {
+        write_export(path, &render_metrics_json_lines(&snapshot), "metrics");
+    }
+    if let Some(path) = &args.chrome_out {
+        write_export(path, &render_chrome_trace(&snapshot), "chrome trace");
+    }
+    let points: usize = snapshot.series.iter().map(|s| s.points.len()).sum();
+    emit(&format!(
+        "telemetry: {} events captured ({} dropped), {} series / {} points ({} dropped), \
+         {} counters, {} histograms\n",
+        snapshot.events.len(),
+        snapshot.events_dropped,
+        snapshot.series.len(),
+        points,
+        snapshot.series_points_dropped(),
+        snapshot.counters.len(),
+        snapshot.histograms.len(),
+    ));
+    for (path, what) in [
+        (&args.trace_out, "trace"),
+        (&args.metrics_out, "metrics"),
+        (&args.chrome_out, "chrome trace"),
+    ] {
+        if let Some(path) = path {
+            emit(&format!("telemetry: {what} written to {path}\n"));
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
@@ -106,8 +191,14 @@ fn main() {
     } else {
         ReproSizes::full()
     };
+    let telemetry = if args.wants_telemetry() {
+        Telemetry::recording(TelemetryConfig::default())
+    } else {
+        Telemetry::disabled()
+    };
     if args.sweep {
-        run_sweep(args.seed, args.quick, sizes);
+        run_sweep(args.seed, args.quick, sizes, &telemetry);
+        export_telemetry(&args, &telemetry);
         return;
     }
 
@@ -118,10 +209,11 @@ fn main() {
         if args.quick { "quick" } else { "full" }
     ));
 
-    let runs = run_scenarios_full(
+    let runs = run_scenarios_traced(
         args.seed,
         sizes,
         args.scenario.unwrap_or(ScenarioSelect::All),
+        &telemetry,
     );
     let mut overhead_rows = Vec::new();
     for run in runs {
@@ -136,13 +228,21 @@ fn main() {
          the overhead table charges the GPU->controller profiling stream (up) and the\n\
          controller->GPU threshold/ramp updates (down) against the PCIe link model (~0.5 ms/msg).\n",
     );
+    export_telemetry(&args, &telemetry);
 }
 
 /// The `--sweep` mode: fleet scale-out tables (1/2/4/8 replicas over the
 /// shared CV trace and the shared generative request stream, least-loaded
 /// dispatch, one controller per replica), then the SLO and accuracy-constraint
 /// sensitivity grids.
-fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes) {
+///
+/// When recording, only the 8-replica CV fleet's Apparate run is traced: the
+/// recorder keys series by `(name, replica)`, so tracing several fleet sizes
+/// (or the generative fleet, which reuses replica indices 0..N with its own
+/// sim clock) into one snapshot would interleave restarting clocks within a
+/// series. One fully-provisioned fleet gives every replica a clean
+/// queue-depth/link series.
+fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes, telemetry: &Telemetry) {
     // Sensitivity points and fleet runs re-simulate the scenario per grid
     // cell, so they run at (at most) quick scale even in full mode.
     let frames = sizes.cv_frames.min(ReproSizes::quick().cv_frames);
@@ -167,7 +267,17 @@ fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes) {
     let scenario = apparate_experiments::cv_scenario(seed, frames).with_arrival_scale(6.0);
     let mut runs = Vec::new();
     for replicas in [1usize, 2, 4, 8] {
-        let run = run_classification_fleet(&scenario, replicas, FleetDispatch::LeastLoaded);
+        let run = if replicas == 8 {
+            run_classification_fleet_traced(
+                &scenario,
+                replicas,
+                FleetDispatch::LeastLoaded,
+                scenario_config(),
+                telemetry,
+            )
+        } else {
+            run_classification_fleet(&scenario, replicas, FleetDispatch::LeastLoaded)
+        };
         emit(&format!("{}\n", run.table.render()));
         runs.push(run);
     }
@@ -248,5 +358,38 @@ mod tests {
         assert!(parse(&["--scenario"]).is_err());
         assert!(parse(&["--scenario", "no-such-scenario"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_toggle_recording() {
+        let args = parse(&[]).expect("defaults");
+        assert!(!args.wants_telemetry(), "telemetry is opt-in");
+
+        let args = parse(&["--trace-out", "/tmp/trace.jsonl"]).expect("valid argv");
+        assert_eq!(args.trace_out.as_deref(), Some("/tmp/trace.jsonl"));
+        assert!(args.wants_telemetry());
+
+        let args = parse(&[
+            "--quick",
+            "--metrics-out",
+            "m.jsonl",
+            "--chrome-out",
+            "c.json",
+        ])
+        .expect("valid argv");
+        assert_eq!(args.metrics_out.as_deref(), Some("m.jsonl"));
+        assert_eq!(args.chrome_out.as_deref(), Some("c.json"));
+        assert!(args.wants_telemetry());
+
+        // Export flags compose with sweep mode.
+        assert!(parse(&["--sweep", "--trace-out", "t.jsonl"]).is_ok());
+    }
+
+    #[test]
+    fn telemetry_flags_require_paths() {
+        for flag in ["--trace-out", "--metrics-out", "--chrome-out"] {
+            let error = parse(&[flag]).expect_err("missing path");
+            assert!(error.contains(flag), "error must name the flag: {error}");
+        }
     }
 }

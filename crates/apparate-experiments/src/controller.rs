@@ -41,6 +41,7 @@ use apparate_serving::{
     BatchOutcome, BatchProfile, ExitPolicy, Request, StepOutcome, TokenPolicy, TokenSlot,
 };
 use apparate_sim::{SimDuration, SimTime};
+use apparate_telemetry::{EventKind, LinkDirection, Telemetry};
 
 /// Counters describing what the controller did during a run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -85,6 +86,7 @@ struct GpuHalf {
     thresholds: Vec<f64>,
     config_epoch: u64,
     update_rx: FeedbackReceiver<ThresholdUpdate>,
+    telemetry: Telemetry,
 }
 
 impl GpuHalf {
@@ -92,12 +94,22 @@ impl GpuHalf {
     /// win; each bumps the configuration epoch stamped on outgoing profiles).
     fn sync(&mut self, now: SimTime) {
         for update in self.update_rx.poll(now) {
+            let ramps_changed = update.ramps.is_some();
+            self.telemetry.emit(now, || EventKind::UpdateDelivered {
+                epoch: update.config_epoch,
+                ramps_changed,
+            });
             if let Some(ramps) = update.ramps {
                 self.plan = self.plan.with_ramps(ramps);
             }
             self.thresholds = update.thresholds;
             self.config_epoch = update.config_epoch;
         }
+        self.telemetry.gauge(
+            now,
+            "link_down_in_flight",
+            self.update_rx.in_flight() as f64,
+        );
     }
 
     /// Execute one batch under the deployed configuration: release decisions
@@ -174,6 +186,7 @@ struct ControllerHalf {
     profile_rx: FeedbackReceiver<ProfileRecord>,
     update_tx: FeedbackSender<ThresholdUpdate>,
     stats: ControllerStats,
+    telemetry: Telemetry,
 }
 
 impl ControllerHalf {
@@ -222,6 +235,13 @@ impl ControllerHalf {
         };
         self.update_tx.send(update, now);
         self.stats.updates_sent += 1;
+        let epoch = self.config_epoch;
+        self.telemetry.emit(now, || EventKind::UpdateIssued {
+            epoch,
+            ramps_changed,
+        });
+        self.telemetry
+            .gauge(now, "active_ramps", self.active_sites.len() as f64);
     }
 
     /// Ingest every profiling record delivered by `now`, then run any
@@ -232,6 +252,13 @@ impl ControllerHalf {
         for record in self.profile_rx.poll(now) {
             if record.config_epoch < self.min_ingest_epoch {
                 self.stats.records_dropped += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.emit(now, || EventKind::StaleRecordDropped {
+                        record_epoch: record.config_epoch,
+                        min_epoch: self.min_ingest_epoch,
+                    });
+                    self.telemetry.counter("stale_records_dropped", 1);
+                }
                 continue;
             }
             self.stats.records_ingested += 1;
@@ -251,6 +278,8 @@ impl ControllerHalf {
                 self.records_since_tune += 1;
             }
         }
+        self.telemetry
+            .gauge(now, "link_up_in_flight", self.profile_rx.in_flight() as f64);
         self.maybe_adjust(now);
         self.maybe_tune(now);
     }
@@ -280,6 +309,7 @@ impl ControllerHalf {
         let savings = per_ramp_savings_us(&self.plan, self.reference_batch);
         let evaluator = ThresholdEvaluator::new(&records, &savings);
         let outcome = greedy_tune(&evaluator, self.tuning_params());
+        let thresholds_changed = self.thresholds != outcome.thresholds;
         self.thresholds = outcome.thresholds;
         self.needs_tune = false;
         self.records_since_tune = 0;
@@ -289,6 +319,11 @@ impl ControllerHalf {
         self.adjust_requests = 0;
         self.stats.tuning_rounds += 1;
         self.publish(now, false);
+        let epoch = self.config_epoch;
+        self.telemetry.emit(now, || EventKind::TuningRound {
+            epoch,
+            thresholds_changed,
+        });
     }
 
     fn maybe_adjust(&mut self, now: SimTime) {
@@ -365,6 +400,26 @@ impl ControllerHalf {
                         .unwrap_or(0.0)
                 })
                 .collect();
+            if self.telemetry.is_enabled() {
+                let activated: Vec<usize> = decision
+                    .new_active
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.active_sites.contains(s))
+                    .collect();
+                let deactivated: Vec<usize> = self
+                    .active_sites
+                    .iter()
+                    .copied()
+                    .filter(|s| !decision.new_active.contains(s))
+                    .collect();
+                let active_count = decision.new_active.len();
+                self.telemetry.emit(now, || EventKind::RampSetChanged {
+                    activated,
+                    deactivated,
+                    active_count,
+                });
+            }
             self.active_sites = decision.new_active;
             self.needs_tune = true;
             self.stats.ramp_changes += 1;
@@ -421,6 +476,7 @@ impl CoordinatedCore {
                 thresholds: vec![0.0; num_ramps],
                 config_epoch: 0,
                 update_rx,
+                telemetry: Telemetry::disabled(),
             },
             controller: ControllerHalf {
                 thresholds: vec![0.0; num_ramps],
@@ -443,9 +499,23 @@ impl CoordinatedCore {
                 profile_rx,
                 update_tx,
                 stats: ControllerStats::default(),
+                telemetry: Telemetry::disabled(),
             },
             profile_tx,
         }
+    }
+
+    /// Attach a telemetry sink to both halves and both link directions. Must
+    /// be called before [`CoordinatedCore::step`] runs and before the uplink
+    /// producer is cloned out, so every message of the run is traced.
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.profile_tx
+            .set_telemetry(telemetry.clone(), LinkDirection::Up);
+        self.controller
+            .update_tx
+            .set_telemetry(telemetry.clone(), LinkDirection::Down);
+        self.gpu.telemetry = telemetry.clone();
+        self.controller.telemetry = telemetry;
     }
 
     /// Warm-start thresholds from offline calibration samples (the bootstrap
@@ -579,6 +649,15 @@ impl ApparatePolicy {
         self.core.controller.stats
     }
 
+    /// Attach a telemetry sink: the controller traces ramp-set changes,
+    /// update issue/delivery, stale-record drops and tuning rounds, and both
+    /// link directions trace their messages. Call *before*
+    /// [`ApparatePolicy::feedback_sender`] so the uplink clone the platform
+    /// holds is traced too.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.core.set_telemetry(telemetry);
+    }
+
     /// The uplink producer handle: pass this to
     /// [`apparate_serving::ServingSimulator::run_with_feedback`] so the
     /// platform streams each batch's profile to the controller.
@@ -703,6 +782,12 @@ impl ApparateTokenPolicy {
     /// Adaptation counters.
     pub fn stats(&self) -> ControllerStats {
         self.core.controller.stats
+    }
+
+    /// Attach a telemetry sink (see [`ApparatePolicy::set_telemetry`]); call
+    /// before [`ApparateTokenPolicy::feedback_sender`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.core.set_telemetry(telemetry);
     }
 
     /// The uplink producer handle for
@@ -1003,6 +1088,56 @@ mod tests {
         // The active set stays sorted and within the site space.
         let sites = policy.active_sites();
         assert!(sites.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn traced_controller_events_reconcile_with_stats() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let calibration = token_calibration(256);
+        let mut policy = ApparateTokenPolicy::warm_started(
+            token_deployment(3),
+            ApparateConfig::default(),
+            8,
+            &calibration,
+        );
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        policy.set_telemetry(telemetry.clone());
+        let mut now = SimTime::ZERO;
+        for step in 0..400u64 {
+            let (_, completed) = drive_token(&mut policy, &slots(step, 8), now);
+            now = completed;
+        }
+        let stats = policy.stats();
+        let snap = telemetry.snapshot().expect("recording");
+        assert_eq!(snap.count_kind("ramp-set-changed"), stats.ramp_changes);
+        assert_eq!(snap.count_kind("update-issued"), stats.updates_sent);
+        assert_eq!(
+            snap.count_kind("stale-record-dropped"),
+            stats.records_dropped
+        );
+        assert_eq!(
+            snap.counter_total("stale_records_dropped") as usize,
+            stats.records_dropped
+        );
+        assert!(stats.ramp_changes >= 1, "run must exercise a ramp change");
+        // Every issued update is eventually delivered except those still on
+        // the wire when the run ended.
+        assert!(snap.count_kind("update-delivered") <= snap.count_kind("update-issued"));
+        assert!(snap.count_kind("update-delivered") >= stats.ramp_changes);
+        // The uplink trace reconciles with the charged link statistics.
+        let report = policy.overhead_report();
+        assert_eq!(
+            snap.counter_total("link_up_messages"),
+            report.uplink.messages
+        );
+        assert_eq!(snap.counter_total("link_up_bytes"), report.uplink.bytes);
+        assert_eq!(
+            snap.counter_total("link_down_messages"),
+            report.downlink.messages
+        );
+        assert_eq!(snap.counter_total("link_down_bytes"), report.downlink.bytes);
+        // The active-ramp gauge tracked the controller's decisions.
+        assert!(!snap.series_named("active_ramps").is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use apparate_serving::{
     TraceShard, VanillaTokenPolicy,
 };
 use apparate_sim::SimDuration;
+use apparate_telemetry::Telemetry;
 
 use crate::controller::{ApparatePolicy, ApparateTokenPolicy};
 use crate::report::{ComparisonTable, OverheadRow};
@@ -93,6 +94,21 @@ pub fn run_classification_fleet_with_config(
     replicas: usize,
     dispatch: FleetDispatch,
     config: ApparateConfig,
+) -> FleetRun {
+    run_classification_fleet_traced(scenario, replicas, dispatch, config, &Telemetry::disabled())
+}
+
+/// Like [`run_classification_fleet_with_config`], with a telemetry sink
+/// attached to the Apparate fleet's run: the dispatcher traces its per-arrival
+/// decisions, every replica's serving events are tagged with its replica
+/// index, and each replica's controller and links are traced. The vanilla and
+/// static-EE fleets stay untraced.
+pub fn run_classification_fleet_traced(
+    scenario: &ClassificationScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    config: ApparateConfig,
+    telemetry: &Telemetry,
 ) -> FleetRun {
     let split = scenario.workload.bootstrap_split();
     let serving_samples = split.serving;
@@ -154,6 +170,7 @@ pub fn run_classification_fleet_with_config(
         &dep_budget,
         config,
         scenario.reference_batch,
+        telemetry,
     );
     summaries.push(apparate_out.summary("apparate"));
 
@@ -186,11 +203,22 @@ fn apparate_fleet(
     dep_budget: &RampDeployment,
     config: ApparateConfig,
     reference_batch: u32,
+    telemetry: &Telemetry,
 ) -> (FleetOutcome, OverheadReport) {
+    // Only the Apparate fleet is traced: attach the sink to a clone of the
+    // (config-only) fleet handle so the baseline families stay untraced.
+    let fleet = fleet.clone().with_telemetry(telemetry.clone());
     let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
     let mut policies: Vec<ApparatePolicy> = (0..fleet.replicas)
         .map(|_| {
-            ApparatePolicy::warm_started(dep_budget.clone(), config, reference_batch, validation)
+            let mut policy = ApparatePolicy::warm_started(
+                dep_budget.clone(),
+                config,
+                reference_batch,
+                validation,
+            );
+            policy.set_telemetry(telemetry.clone());
+            policy
         })
         .collect();
     // Same ramp-budget-padded estimator contract as the single-replica run:
@@ -232,6 +260,17 @@ pub fn run_generative_fleet(
     scenario: &GenerativeScenario,
     replicas: usize,
     dispatch: FleetDispatch,
+) -> FleetRun {
+    run_generative_fleet_traced(scenario, replicas, dispatch, &Telemetry::disabled())
+}
+
+/// Like [`run_generative_fleet`], with a telemetry sink attached to the
+/// Apparate fleet's run (see [`run_classification_fleet_traced`]).
+pub fn run_generative_fleet_traced(
+    scenario: &GenerativeScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    telemetry: &Telemetry,
 ) -> FleetRun {
     let config = scenario_config();
     let (_, dep_budget) = generative_fixture(scenario, &config);
@@ -295,6 +334,7 @@ pub fn run_generative_fleet(
         &dep_budget,
         config,
         scenario.reference_batch,
+        telemetry,
     );
     summaries.push(apparate_out.summary("apparate"));
 
@@ -318,6 +358,7 @@ pub fn run_generative_fleet(
 
 /// Serve the pre-computed request shards with one Apparate token controller
 /// per replica and sum the per-replica coordination charges.
+#[allow(clippy::too_many_arguments)]
 fn apparate_generative_fleet(
     fleet: &GenerativeReplicaFleet,
     shards: &[RequestShard],
@@ -326,15 +367,19 @@ fn apparate_generative_fleet(
     dep_budget: &RampDeployment,
     config: ApparateConfig,
     reference_batch: u32,
+    telemetry: &Telemetry,
 ) -> (GenerativeFleetOutcome, OverheadReport) {
+    let fleet = fleet.clone().with_telemetry(telemetry.clone());
     let mut policies: Vec<ApparateTokenPolicy> = (0..fleet.replicas)
         .map(|_| {
-            ApparateTokenPolicy::warm_started(
+            let mut policy = ApparateTokenPolicy::warm_started(
                 dep_budget.clone(),
                 config,
                 reference_batch,
                 calibration,
-            )
+            );
+            policy.set_telemetry(telemetry.clone());
+            policy
         })
         .collect();
     let servers: Vec<TokenReplicaServer<'_>> = policies

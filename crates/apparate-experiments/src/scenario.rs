@@ -19,6 +19,7 @@ use apparate_serving::{
     LatencySummary, Request, ServingConfig, ServingSimulator, TokenSemantics, VanillaTokenPolicy,
 };
 use apparate_sim::{Cdf, DeterministicRng, SimDuration};
+use apparate_telemetry::Telemetry;
 use apparate_workload::{
     amazon_reviews, video_workload, AmazonConfig, GenerativeConfig, GenerativeTask,
     GenerativeWorkload, VideoConfig, Workload,
@@ -155,21 +156,46 @@ pub fn run_scenarios_full(
     sizes: ReproSizes,
     select: ScenarioSelect,
 ) -> Vec<ScenarioRun> {
+    run_scenarios_traced(seed, sizes, select, &Telemetry::disabled())
+}
+
+/// Like [`run_scenarios_full`], with a telemetry sink attached to each
+/// scenario's *Apparate* run (baselines stay untraced — the trace describes
+/// the system under study, not the comparison family). Scenario `i` is tagged
+/// as replica lane `i`, so per-scenario series never interleave; fleet runs
+/// re-tag per actual replica instead.
+pub fn run_scenarios_traced(
+    seed: u64,
+    sizes: ReproSizes,
+    select: ScenarioSelect,
+    telemetry: &Telemetry,
+) -> Vec<ScenarioRun> {
     let mut runs = Vec::new();
+    let mut lane = 0u32;
+    let mut next_lane = |telemetry: &Telemetry| {
+        telemetry.set_replica(lane);
+        lane += 1;
+    };
     if matches!(select, ScenarioSelect::Cv | ScenarioSelect::All) {
-        runs.push(run_classification_full(&cv_scenario(seed, sizes.cv_frames)));
+        next_lane(telemetry);
+        runs.push(run_classification_traced(
+            &cv_scenario(seed, sizes.cv_frames),
+            telemetry,
+        ));
     }
     if matches!(select, ScenarioSelect::Nlp | ScenarioSelect::All) {
-        runs.push(run_classification_full(&nlp_scenario(
-            seed,
-            sizes.nlp_requests,
-        )));
+        next_lane(telemetry);
+        runs.push(run_classification_traced(
+            &nlp_scenario(seed, sizes.nlp_requests),
+            telemetry,
+        ));
     }
     if matches!(select, ScenarioSelect::Generative | ScenarioSelect::All) {
-        runs.push(run_generative_full(&generative_scenario(
-            seed,
-            sizes.gen_requests,
-        )));
+        next_lane(telemetry);
+        runs.push(run_generative_traced(
+            &generative_scenario(seed, sizes.gen_requests),
+            telemetry,
+        ));
     }
     runs
 }
@@ -387,12 +413,19 @@ pub fn generative_scenario(seed: u64, requests: usize) -> GenerativeScenario {
         GenerativeConfig::for_task(GenerativeTask::Summarization, requests),
         DeterministicRng::new(seed).child(0x6E).seed(),
     );
+    // The decoder's default SLO is its time-between-tokens target (§2.1's
+    // per-token deadline); holding every token to it is what makes the
+    // generative violation-rate column real instead of hardcoded zero.
+    let tbt_slo = SimDuration::from_micros_f64(model.descriptor.default_slo_ms * 1_000.0);
     GenerativeScenario {
         name: format!("generative/llama2-7b/{}", workload.task.dataset_name()),
         model,
         workload,
         arrival_rate: 1.0,
-        batching: ContinuousBatchingConfig { max_batch_size: 16 },
+        batching: ContinuousBatchingConfig {
+            max_batch_size: 16,
+            tbt_slo: Some(tbt_slo),
+        },
         reference_batch: 8,
         seed,
     }
@@ -440,6 +473,16 @@ pub fn run_classification(scenario: &ClassificationScenario) -> ComparisonTable 
 /// Run the full policy family on a classification scenario, also returning
 /// the Apparate run's coordination charges.
 pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun {
+    run_classification_traced(scenario, &Telemetry::disabled())
+}
+
+/// Like [`run_classification_full`], with a telemetry sink attached to the
+/// Apparate run (platform events, controller events and both link
+/// directions). Baseline runs stay untraced.
+pub fn run_classification_traced(
+    scenario: &ClassificationScenario,
+    telemetry: &Telemetry,
+) -> ScenarioRun {
     let config = scenario_config();
     let split = scenario.workload.bootstrap_split();
     let serving_samples = split.serving;
@@ -501,12 +544,12 @@ pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun
     let (apparate_out, overhead) = apparate_classification(
         scenario,
         config,
-        &sim,
         &trace,
         serving_samples,
         split.validation,
         &dep_budget,
         &vanilla_plan,
+        telemetry,
     );
     summaries.push(LatencySummary::from_outcome("apparate", &apparate_out));
     let apparate_cdf = latency_cdf(&apparate_out);
@@ -540,19 +583,24 @@ pub fn run_classification_full(scenario: &ClassificationScenario) -> ScenarioRun
 fn apparate_classification(
     scenario: &ClassificationScenario,
     config: ApparateConfig,
-    sim: &ServingSimulator,
     trace: &ArrivalTrace,
     serving_samples: &[SampleSemantics],
     validation: &[SampleSemantics],
     dep_budget: &RampDeployment,
     vanilla_plan: &ExecutionPlan,
+    telemetry: &Telemetry,
 ) -> (apparate_serving::ServingOutcome, OverheadReport) {
+    // The simulator is config + sink only, so building a private instance
+    // here (rather than sharing the baselines') changes nothing about the
+    // run while keeping the baselines untraced.
+    let sim = ServingSimulator::new(scenario.serving.clone()).with_telemetry(telemetry.clone());
     let mut policy = ApparatePolicy::warm_started(
         dep_budget.clone(),
         config,
         scenario.reference_batch,
         validation,
     );
+    policy.set_telemetry(telemetry.clone());
     // Apparate's ramp set changes at runtime, so a plan-pinned estimator
     // would go stale after the first adjustment. The platform instead
     // relies on the one contract the controller never violates: total
@@ -579,17 +627,16 @@ pub fn run_classification_overhead(scenario: &ClassificationScenario) -> Overhea
     let split = scenario.workload.bootstrap_split();
     let n = split.serving.len();
     let (_, trace, dep_budget) = classification_fixture(scenario, &config);
-    let sim = ServingSimulator::new(scenario.serving.clone());
     let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
     let (_, report) = apparate_classification(
         scenario,
         config,
-        &sim,
         &trace,
         split.serving,
         split.validation,
         &dep_budget,
         &vanilla_plan,
+        &Telemetry::disabled(),
     );
     OverheadRow {
         scenario: scenario.name.clone(),
@@ -633,12 +680,12 @@ pub fn run_classification_duel(
     let (out, overhead) = apparate_classification(
         scenario,
         config,
-        &sim,
         &trace,
         serving_samples,
         split.validation,
         &dep_budget,
         &vanilla_plan,
+        &Telemetry::disabled(),
     );
     DuelRun {
         vanilla,
@@ -729,6 +776,13 @@ pub fn run_generative(scenario: &GenerativeScenario) -> ComparisonTable {
 /// Run the full policy family on a generative scenario, also returning the
 /// Apparate run's coordination charges.
 pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
+    run_generative_traced(scenario, &Telemetry::disabled())
+}
+
+/// Like [`run_generative_full`], with a telemetry sink attached to the
+/// Apparate run (decode-step events, controller events and both link
+/// directions). Baseline runs stay untraced.
+pub fn run_generative_traced(scenario: &GenerativeScenario, telemetry: &Telemetry) -> ScenarioRun {
     let config = scenario_config();
     let requests = generative_requests(scenario);
     let tokens = WorkloadTokens(&scenario.workload);
@@ -791,11 +845,11 @@ pub fn run_generative_full(scenario: &GenerativeScenario) -> ScenarioRun {
     let (apparate_out, overhead) = apparate_generative(
         scenario,
         config,
-        &sim,
         &requests,
         &tokens,
         &calibration,
         &dep_budget,
+        telemetry,
     );
     summaries.push(LatencySummary::from_generative("apparate", &apparate_out));
     let apparate_cdf = tpt_cdf(&apparate_out);
@@ -837,18 +891,20 @@ pub(crate) fn total_tokens(scenario: &GenerativeScenario) -> u64 {
 fn apparate_generative(
     scenario: &GenerativeScenario,
     config: ApparateConfig,
-    sim: &GenerativeSimulator,
     requests: &[Request],
     tokens: &WorkloadTokens<'_>,
     calibration: &[SampleSemantics],
     dep_budget: &RampDeployment,
+    telemetry: &Telemetry,
 ) -> (apparate_serving::GenerativeOutcome, OverheadReport) {
+    let sim = GenerativeSimulator::new(scenario.batching).with_telemetry(telemetry.clone());
     let mut policy = ApparateTokenPolicy::warm_started(
         dep_budget.clone(),
         config,
         scenario.reference_batch,
         calibration,
     );
+    policy.set_telemetry(telemetry.clone());
     let uplink = policy.feedback_sender();
     let out = sim.run_with_feedback(requests, tokens, &mut policy, Some(&uplink));
     let overhead = policy.overhead_report();
@@ -861,17 +917,16 @@ pub fn run_generative_overhead(scenario: &GenerativeScenario) -> OverheadRow {
     let config = scenario_config();
     let requests = generative_requests(scenario);
     let tokens = WorkloadTokens(&scenario.workload);
-    let sim = GenerativeSimulator::new(scenario.batching);
     let (_, dep_budget) = generative_fixture(scenario, &config);
     let calibration = generative_calibration(&scenario.workload);
     let (_, report) = apparate_generative(
         scenario,
         config,
-        &sim,
         &requests,
         &tokens,
         &calibration,
         &dep_budget,
+        &Telemetry::disabled(),
     );
     OverheadRow {
         scenario: scenario.name.clone(),

@@ -41,6 +41,7 @@ use crate::request::Request;
 use crate::traces::ArrivalTrace;
 use apparate_exec::{FeedbackSender, ProfileRecord, SampleSemantics};
 use apparate_sim::{Percentiles, SimDuration};
+use apparate_telemetry::{EventKind, Telemetry};
 
 /// How the front-end dispatcher assigns arrivals to replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +161,8 @@ pub struct ReplicaFleet {
     /// Per-replica serving configuration (batching + SLO), identical across
     /// the fleet.
     pub serving: ServingConfig,
+    /// Telemetry sink shared by the dispatcher and every replica simulator.
+    telemetry: Telemetry,
 }
 
 impl ReplicaFleet {
@@ -170,7 +173,15 @@ impl ReplicaFleet {
             replicas,
             dispatch,
             serving,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink. Dispatch decisions are traced per arrival and
+    /// every replica's serving events are tagged with its replica index.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ReplicaFleet {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Shard a shared trace across this fleet's replicas.
@@ -218,12 +229,25 @@ impl ReplicaFleet {
             self.replicas,
             "one shard per replica is required"
         );
-        let sim = ServingSimulator::new(self.serving.clone());
+        let traced = self.telemetry.is_enabled();
         let mut per_replica = Vec::with_capacity(self.replicas);
         let mut shard_sizes = Vec::with_capacity(self.replicas);
-        for (shard, server) in shards.iter().zip(servers) {
+        for (replica, (shard, server)) in shards.iter().zip(servers).enumerate() {
             let shard_samples = shard.gather(samples);
             shard_sizes.push(shard.trace.len());
+            let mut sim = ServingSimulator::new(self.serving.clone());
+            if traced {
+                // Replicas run sequentially, so re-tagging the shared recorder
+                // before each run labels every event with its replica index.
+                self.telemetry.set_replica(replica as u32);
+                for (&shared_index, &at) in shard.indices.iter().zip(shard.trace.times()) {
+                    self.telemetry.emit(at, || EventKind::Dispatch {
+                        request_id: shared_index as u64,
+                        replica: replica as u32,
+                    });
+                }
+                sim = sim.with_telemetry(self.telemetry.clone());
+            }
             per_replica.push(sim.run_with_feedback(
                 &shard.trace,
                 &shard_samples,
@@ -430,6 +454,8 @@ pub struct GenerativeReplicaFleet {
     /// Per-replica continuous-batching configuration, identical across the
     /// fleet.
     pub batching: ContinuousBatchingConfig,
+    /// Telemetry sink shared by the dispatcher and every replica simulator.
+    telemetry: Telemetry,
 }
 
 impl GenerativeReplicaFleet {
@@ -444,7 +470,15 @@ impl GenerativeReplicaFleet {
             replicas,
             dispatch,
             batching,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink. Dispatch decisions are traced per request and
+    /// every replica's decode events are tagged with its replica index.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> GenerativeReplicaFleet {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Shard a shared request stream across this fleet's replicas.
@@ -492,11 +526,25 @@ impl GenerativeReplicaFleet {
             self.replicas,
             "one shard per replica is required"
         );
-        let sim = GenerativeSimulator::new(self.batching);
+        let traced = self.telemetry.is_enabled();
         let mut per_replica = Vec::with_capacity(self.replicas);
         let mut shard_sizes = Vec::with_capacity(self.replicas);
-        for (shard, server) in shards.iter().zip(servers) {
+        for (replica, (shard, server)) in shards.iter().zip(servers).enumerate() {
             shard_sizes.push(shard.requests.len());
+            let mut sim = GenerativeSimulator::new(self.batching);
+            if traced {
+                // Replicas run sequentially, so re-tagging the shared recorder
+                // before each run labels every event with its replica index.
+                self.telemetry.set_replica(replica as u32);
+                for request in &shard.requests {
+                    self.telemetry
+                        .emit(request.arrival, || EventKind::Dispatch {
+                            request_id: request.id,
+                            replica: replica as u32,
+                        });
+                }
+                sim = sim.with_telemetry(self.telemetry.clone());
+            }
             per_replica.push(sim.run_with_feedback(
                 &shard.requests,
                 semantics,
@@ -590,6 +638,21 @@ impl GenerativeFleetOutcome {
         exited as f64 / total as f64
     }
 
+    /// Token-weighted TBT-SLO violation rate across the fleet. Zero whenever
+    /// the batching config carries no [`ContinuousBatchingConfig::tbt_slo`].
+    pub fn slo_violation_rate(&self) -> f64 {
+        let total = self.total_tokens();
+        if total == 0 {
+            return 0.0;
+        }
+        let violated: usize = self
+            .per_replica
+            .iter()
+            .map(|o| o.tokens.iter().filter(|t| t.slo_violated).count())
+            .sum();
+        violated as f64 / total as f64
+    }
+
     /// Step-weighted mean decode-batch size across the fleet.
     pub fn mean_batch_size(&self) -> f64 {
         let steps: usize = self.per_replica.iter().map(|o| o.batch_sizes.len()).sum();
@@ -613,7 +676,7 @@ impl GenerativeFleetOutcome {
             accuracy: self.sequence_accuracy(),
             throughput: self.tokens_per_second(),
             mean_batch_size: self.mean_batch_size(),
-            slo_violation_rate: 0.0,
+            slo_violation_rate: self.slo_violation_rate(),
             exit_rate: self.exit_rate(),
         }
     }
@@ -813,7 +876,10 @@ mod tests {
         let fleet = GenerativeReplicaFleet::new(
             4,
             FleetDispatch::LeastLoaded,
-            ContinuousBatchingConfig { max_batch_size: 8 },
+            ContinuousBatchingConfig {
+                max_batch_size: 8,
+                tbt_slo: None,
+            },
         );
         let run = || {
             let mut policies: Vec<_> = (0..4)
@@ -860,7 +926,10 @@ mod tests {
             let fleet = GenerativeReplicaFleet::new(
                 replicas,
                 FleetDispatch::LeastLoaded,
-                ContinuousBatchingConfig { max_batch_size: 16 },
+                ContinuousBatchingConfig {
+                    max_batch_size: 16,
+                    tbt_slo: None,
+                },
             );
             let mut policies: Vec<_> = (0..replicas)
                 .map(|_| VanillaTokenPolicy::new(decode_time))
@@ -887,6 +956,113 @@ mod tests {
         assert!(
             quad_p50 < single_p50,
             "4-replica median TPT {quad_p50} ms should beat single-replica {single_p50} ms"
+        );
+    }
+
+    #[test]
+    fn traced_fleet_tags_every_replica_and_dispatch() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let n = 120;
+        let trace = ArrivalTrace::fixed_rate(n, 100.0);
+        let shared = samples(n);
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        let fleet = ReplicaFleet::new(
+            3,
+            FleetDispatch::RoundRobin,
+            ServingConfig {
+                policy: BatchingPolicy::Immediate,
+                slo: None,
+            },
+        )
+        .with_telemetry(telemetry.clone());
+        let mut policies: Vec<_> = (0..3).map(|_| VanillaPolicy::new(exec_time)).collect();
+        let estimate = exec_time;
+        let servers: Vec<ReplicaServer<'_>> = policies
+            .iter_mut()
+            .map(|p| ReplicaServer {
+                policy: p,
+                estimate: &estimate,
+                feedback: None,
+            })
+            .collect();
+        let out = fleet.run(&trace, &shared, exec_time(1), servers);
+        assert_eq!(out.total_requests(), n);
+        let snap = telemetry.snapshot().expect("recording");
+        // One dispatch event per arrival, and the per-event replica tag agrees
+        // with the round-robin assignment.
+        assert_eq!(snap.count_kind("dispatch"), n);
+        for event in snap
+            .events
+            .iter()
+            .filter(|e| e.kind.kind_name() == "dispatch")
+        {
+            if let apparate_telemetry::EventKind::Dispatch {
+                request_id,
+                replica,
+            } = event.kind
+            {
+                assert_eq!(replica, (request_id % 3) as u32);
+                assert_eq!(event.replica, replica);
+            }
+        }
+        // Every replica contributed a queue-depth series and batch events.
+        let queue_replicas: Vec<u32> = snap
+            .series_named("queue_depth")
+            .iter()
+            .map(|s| s.replica)
+            .collect();
+        for r in 0..3u32 {
+            assert!(
+                queue_replicas.contains(&r),
+                "no queue series for replica {r}"
+            );
+        }
+        assert_eq!(snap.counter_total("batches") as usize, {
+            let batches: usize = out.per_replica.iter().map(|o| o.batch_sizes.len()).sum();
+            batches
+        });
+    }
+
+    #[test]
+    fn traced_generative_fleet_pools_tbt_violations() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let requests = gen_requests(24, 15, 20.0);
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        // A deliberately strict TBT SLO: batched decode steps exceed it.
+        let fleet = GenerativeReplicaFleet::new(
+            2,
+            FleetDispatch::LeastLoaded,
+            ContinuousBatchingConfig {
+                max_batch_size: 8,
+                tbt_slo: Some(SimDuration::from_millis(12)),
+            },
+        )
+        .with_telemetry(telemetry.clone());
+        let mut policies: Vec<_> = (0..2)
+            .map(|_| VanillaTokenPolicy::new(decode_time))
+            .collect();
+        let servers: Vec<TokenReplicaServer<'_>> = policies
+            .iter_mut()
+            .map(|p| TokenReplicaServer {
+                policy: p,
+                feedback: None,
+            })
+            .collect();
+        let out = fleet.run(&requests, &UniformTokens, decode_time(1), servers);
+        assert_eq!(out.total_tokens(), 24 * 15);
+        // The pooled fleet rate now reflects per-token SLO outcomes instead of
+        // the old hardcoded zero, and matches the summary row.
+        let rate = out.slo_violation_rate();
+        assert!(rate > 0.0, "strict TBT SLO must be violated under batching");
+        assert_eq!(out.summary("apparate").slo_violation_rate, rate);
+        let snap = telemetry.snapshot().expect("recording");
+        assert_eq!(snap.count_kind("dispatch"), 24);
+        assert_eq!(
+            snap.counter_total("slo_violations") as usize,
+            out.per_replica
+                .iter()
+                .map(|o| o.tokens.iter().filter(|t| t.slo_violated).count())
+                .sum::<usize>()
         );
     }
 

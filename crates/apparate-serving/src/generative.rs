@@ -15,6 +15,7 @@ use crate::platform::BatchProfile;
 use crate::request::Request;
 use apparate_exec::{FeedbackSender, LinkStats, ProfileRecord, SampleSemantics};
 use apparate_sim::{SimDuration, SimTime};
+use apparate_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -123,6 +124,9 @@ pub struct TokenRecord {
     pub exit_ramp: Option<usize>,
     /// Agreement with the original model.
     pub correct: bool,
+    /// Whether this token's inter-token time exceeded the configured TBT SLO
+    /// (always `false` when the run has no [`ContinuousBatchingConfig::tbt_slo`]).
+    pub slo_violated: bool,
 }
 
 /// Aggregate result of one generative serving run.
@@ -183,6 +187,15 @@ impl GenerativeOutcome {
         }
         self.batch_sizes.iter().map(|&b| b as f64).sum::<f64>() / self.batch_sizes.len() as f64
     }
+
+    /// Fraction of tokens whose inter-token time violated the TBT SLO
+    /// (0 when the run was configured without one).
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.tokens.is_empty() {
+            return 0.0;
+        }
+        self.tokens.iter().filter(|t| t.slo_violated).count() as f64 / self.tokens.len() as f64
+    }
 }
 
 /// Configuration of the continuous-batching loop.
@@ -190,11 +203,18 @@ impl GenerativeOutcome {
 pub struct ContinuousBatchingConfig {
     /// Maximum number of sequences decoded together.
     pub max_batch_size: u32,
+    /// Time-between-tokens SLO: a token whose inter-token interval exceeds
+    /// this is an SLO violation (the generative analogue of the per-request
+    /// response SLO, §2.1). `None` disables violation accounting.
+    pub tbt_slo: Option<SimDuration>,
 }
 
 impl Default for ContinuousBatchingConfig {
     fn default() -> Self {
-        ContinuousBatchingConfig { max_batch_size: 16 }
+        ContinuousBatchingConfig {
+            max_batch_size: 16,
+            tbt_slo: None,
+        }
     }
 }
 
@@ -209,6 +229,7 @@ pub trait TokenSemantics {
 /// The continuous-batching generative simulator.
 pub struct GenerativeSimulator {
     config: ContinuousBatchingConfig,
+    telemetry: Telemetry,
 }
 
 #[derive(Debug, Clone)]
@@ -222,7 +243,18 @@ struct ActiveSequence {
 impl GenerativeSimulator {
     /// Create a simulator.
     pub fn new(config: ContinuousBatchingConfig) -> GenerativeSimulator {
-        GenerativeSimulator { config }
+        GenerativeSimulator {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle: decode steps record `batch-formed` events
+    /// plus batch-size / pending-queue series, and TBT-SLO violations record
+    /// `slo-violation` events. The default is the zero-cost disabled handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> GenerativeSimulator {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Run the generative workload. No profiling feedback is published; see
@@ -304,15 +336,44 @@ impl GenerativeSimulator {
                 sender.send(profile.into_record(completed_at, ids), completed_at);
             }
             gpu_busy += outcome.gpu_time;
+            let traced = self.telemetry.is_enabled();
+            if traced {
+                let size = slots.len() as u32;
+                let queue_depth = pending.len();
+                let gpu_us = outcome.gpu_time.as_micros();
+                self.telemetry.emit(now, || EventKind::BatchFormed {
+                    size,
+                    queue_depth,
+                    gpu_us,
+                });
+                self.telemetry.counter("decode_steps", 1);
+                self.telemetry.gauge(now, "gen_batch_size", size as f64);
+                self.telemetry.gauge(now, "gen_pending", queue_depth as f64);
+                self.telemetry.observe("gen_batch_size", size as f64);
+            }
             for (seq, out) in active.iter_mut().zip(outcome.per_token.iter()) {
                 let released = now + out.release_offset;
+                let tpt = released - seq.last_release;
+                let slo_violated = self.config.tbt_slo.map(|slo| tpt > slo).unwrap_or(false);
+                if traced && slo_violated {
+                    let request_id = seq.request_id;
+                    let latency_us = tpt.as_micros();
+                    let slo_us = self.config.tbt_slo.map(|s| s.as_micros()).unwrap_or(0);
+                    self.telemetry.emit(released, || EventKind::SloViolation {
+                        request_id,
+                        latency_us,
+                        slo_us,
+                    });
+                    self.telemetry.counter("slo_violations", 1);
+                }
                 tokens.push(TokenRecord {
                     request_id: seq.request_id,
                     token_index: seq.next_token,
                     released,
-                    tpt: released - seq.last_release,
+                    tpt,
                     exit_ramp: out.exit_ramp,
                     correct: out.correct,
+                    slo_violated,
                 });
                 seq.last_release = released;
                 seq.next_token += 1;
@@ -374,7 +435,10 @@ mod tests {
     #[test]
     fn all_tokens_are_generated() {
         let requests = make_requests(10, 20, 5.0);
-        let sim = GenerativeSimulator::new(ContinuousBatchingConfig { max_batch_size: 4 });
+        let sim = GenerativeSimulator::new(ContinuousBatchingConfig {
+            max_batch_size: 4,
+            tbt_slo: None,
+        });
         let mut policy = VanillaTokenPolicy::new(decode_time);
         let out = sim.run(&requests, &UniformTokens, &mut policy);
         assert_eq!(out.tokens.len(), 10 * 20);
@@ -386,7 +450,10 @@ mod tests {
     #[test]
     fn token_indices_are_contiguous_per_request() {
         let requests = make_requests(5, 15, 10.0);
-        let sim = GenerativeSimulator::new(ContinuousBatchingConfig { max_batch_size: 8 });
+        let sim = GenerativeSimulator::new(ContinuousBatchingConfig {
+            max_batch_size: 8,
+            tbt_slo: None,
+        });
         let mut policy = VanillaTokenPolicy::new(decode_time);
         let out = sim.run(&requests, &UniformTokens, &mut policy);
         for r in 0..5u64 {
@@ -405,7 +472,10 @@ mod tests {
     fn saturated_serving_fills_the_batch() {
         // Arrival rate far above service capacity keeps the continuous batch full.
         let requests = make_requests(40, 30, 1_000.0);
-        let sim = GenerativeSimulator::new(ContinuousBatchingConfig { max_batch_size: 8 });
+        let sim = GenerativeSimulator::new(ContinuousBatchingConfig {
+            max_batch_size: 8,
+            tbt_slo: None,
+        });
         let mut policy = VanillaTokenPolicy::new(decode_time);
         let out = sim.run(&requests, &UniformTokens, &mut policy);
         assert!(
@@ -418,7 +488,10 @@ mod tests {
     #[test]
     fn tpt_equals_step_time_for_vanilla_steady_state() {
         let requests = make_requests(4, 50, 1_000.0);
-        let sim = GenerativeSimulator::new(ContinuousBatchingConfig { max_batch_size: 4 });
+        let sim = GenerativeSimulator::new(ContinuousBatchingConfig {
+            max_batch_size: 4,
+            tbt_slo: None,
+        });
         let mut policy = VanillaTokenPolicy::new(decode_time);
         let out = sim.run(&requests, &UniformTokens, &mut policy);
         // Once all four sequences are admitted (and before any retires), every
@@ -458,5 +531,54 @@ mod tests {
         assert!(out.makespan > SimDuration::ZERO);
         assert!(out.tokens_per_second() > 0.0);
         assert!(out.gpu_busy <= out.makespan);
+    }
+
+    #[test]
+    fn tbt_slo_violations_are_counted() {
+        let requests = make_requests(8, 20, 1_000.0);
+        // Full batch-8 steps take 22 ms; a 15 ms TBT SLO is violated by every
+        // full-batch token but met during ramp-up/drain at small batch sizes.
+        let run = |tbt_slo: Option<SimDuration>| {
+            let sim = GenerativeSimulator::new(ContinuousBatchingConfig {
+                max_batch_size: 8,
+                tbt_slo,
+            });
+            let mut policy = VanillaTokenPolicy::new(decode_time);
+            sim.run(&requests, &UniformTokens, &mut policy)
+        };
+        let without = run(None);
+        assert_eq!(without.slo_violation_rate(), 0.0);
+        let strict = run(Some(SimDuration::from_millis(15)));
+        assert!(
+            strict.slo_violation_rate() > 0.5,
+            "rate {}",
+            strict.slo_violation_rate()
+        );
+        let generous = run(Some(SimDuration::from_millis(60)));
+        assert_eq!(generous.slo_violation_rate(), 0.0);
+        // The SLO accounting must not perturb the simulated schedule.
+        assert_eq!(without.batch_sizes, strict.batch_sizes);
+        assert_eq!(without.makespan, strict.makespan);
+    }
+
+    #[test]
+    fn traced_generative_run_records_steps_and_violations() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let requests = make_requests(8, 20, 1_000.0);
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        let sim = GenerativeSimulator::new(ContinuousBatchingConfig {
+            max_batch_size: 8,
+            tbt_slo: Some(SimDuration::from_millis(15)),
+        })
+        .with_telemetry(telemetry.clone());
+        let mut policy = VanillaTokenPolicy::new(decode_time);
+        let out = sim.run(&requests, &UniformTokens, &mut policy);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.count_kind("batch-formed"), out.batch_sizes.len());
+        assert_eq!(
+            snap.count_kind("slo-violation"),
+            out.tokens.iter().filter(|t| t.slo_violated).count()
+        );
+        assert!(!snap.series_named("gen_batch_size").is_empty());
     }
 }

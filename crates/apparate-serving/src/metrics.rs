@@ -24,7 +24,8 @@ pub struct LatencySummary {
     pub throughput: f64,
     /// Mean batch size.
     pub mean_batch_size: f64,
-    /// SLO violation rate (0 for generative runs).
+    /// SLO violation rate: response SLO for classification runs, TBT SLO for
+    /// generative runs.
     pub slo_violation_rate: f64,
     /// Fraction of results that exited early.
     pub exit_rate: f64,
@@ -55,7 +56,7 @@ impl LatencySummary {
             accuracy: outcome.sequence_accuracy(),
             throughput: outcome.tokens_per_second(),
             mean_batch_size: outcome.mean_batch_size(),
-            slo_violation_rate: 0.0,
+            slo_violation_rate: outcome.slo_violation_rate(),
             exit_rate: outcome.exit_rate(),
         }
     }

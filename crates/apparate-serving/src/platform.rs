@@ -14,8 +14,12 @@ use crate::request::{Request, RequestRecord};
 use crate::traces::ArrivalTrace;
 use apparate_exec::{FeedbackSender, LinkStats, ProfileRecord, RampObservation, SampleSemantics};
 use apparate_sim::{EventQueue, SimDuration, SimTime};
+use apparate_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Window (in completed requests) of the `exit_rate_rolling` telemetry gauge.
+const ROLLING_EXIT_WINDOW: usize = 256;
 
 /// Per-batch profiling data a policy wants streamed to its controller: what
 /// every active ramp observed for every request, plus the release decisions.
@@ -245,12 +249,24 @@ enum Event {
 /// The serving simulator itself.
 pub struct ServingSimulator {
     config: ServingConfig,
+    telemetry: Telemetry,
 }
 
 impl ServingSimulator {
     /// Create a simulator with the given configuration.
     pub fn new(config: ServingConfig) -> ServingSimulator {
-        ServingSimulator { config }
+        ServingSimulator {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle: runs record `batch-formed` and
+    /// `slo-violation` events plus queue-depth / batch-size / rolling
+    /// exit-rate series. The default is the zero-cost disabled handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ServingSimulator {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Run the full trace through the platform with the given exit policy and
@@ -303,11 +319,19 @@ impl ServingSimulator {
         let mut total_gpu_busy = SimDuration::ZERO;
         let first_arrival = trace.times().first().copied().unwrap_or(SimTime::ZERO);
         let mut last_completion = first_arrival;
+        let traced = self.telemetry.is_enabled();
+        // Rolling early-exit window behind the `exit_rate_rolling` gauge;
+        // only maintained when a recording handle is attached.
+        let mut rolling_exits: VecDeque<bool> = VecDeque::new();
+        let mut rolling_hits = 0usize;
 
         while let Some((now, event)) = events.pop() {
             match event {
                 Event::Arrival(i) => {
                     queue.push_back(requests[i].clone());
+                    if traced {
+                        self.telemetry.gauge(now, "queue_depth", queue.len() as f64);
+                    }
                 }
                 Event::GpuFree => {
                     gpu_busy = false;
@@ -340,10 +364,46 @@ impl ServingSimulator {
                     }
                     batch_sizes.push(size);
                     total_gpu_busy += outcome.gpu_time;
+                    if traced {
+                        let queue_depth = queue.len();
+                        let gpu_us = outcome.gpu_time.as_micros();
+                        self.telemetry.emit(now, || EventKind::BatchFormed {
+                            size,
+                            queue_depth,
+                            gpu_us,
+                        });
+                        self.telemetry.counter("batches", 1);
+                        self.telemetry.gauge(now, "queue_depth", queue_depth as f64);
+                        self.telemetry.gauge(now, "batch_size", size as f64);
+                        self.telemetry.observe("batch_size", size as f64);
+                    }
                     for (req, out) in batch.iter().zip(outcome.per_request.iter()) {
                         let released = now + out.release_offset;
                         let completed = now + out.completion_offset;
                         let slo_violated = req.deadline().map(|d| released > d).unwrap_or(false);
+                        if traced {
+                            if slo_violated {
+                                let request_id = req.id;
+                                let latency_us = (released - req.arrival).as_micros();
+                                let slo_us = self.config.slo.map(|s| s.as_micros()).unwrap_or(0);
+                                self.telemetry.emit(released, || EventKind::SloViolation {
+                                    request_id,
+                                    latency_us,
+                                    slo_us,
+                                });
+                                self.telemetry.counter("slo_violations", 1);
+                            }
+                            rolling_exits.push_back(out.exit_ramp.is_some());
+                            rolling_hits += out.exit_ramp.is_some() as usize;
+                            if rolling_exits.len() > ROLLING_EXIT_WINDOW {
+                                rolling_hits -= rolling_exits.pop_front().unwrap_or(false) as usize;
+                            }
+                            self.telemetry.gauge(
+                                released,
+                                "exit_rate_rolling",
+                                rolling_hits as f64 / rolling_exits.len() as f64,
+                            );
+                        }
                         records.push(RequestRecord {
                             id: req.id,
                             arrival: req.arrival,
@@ -462,6 +522,47 @@ mod tests {
         let out = sim.run(&trace, &samples(300), &mut policy, &exec_time);
         assert!(out.gpu_busy <= out.makespan + SimDuration::from_millis(1));
         assert!(out.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn traced_run_records_batches_and_queue_series() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let trace = ArrivalTrace::poisson(120, 120.0, 7);
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        let sim = ServingSimulator::new(ServingConfig::clockwork(25.0, 8))
+            .with_telemetry(telemetry.clone());
+        let mut policy = VanillaPolicy::new(exec_time);
+        let out = sim.run(&trace, &samples(120), &mut policy, &exec_time);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.count_kind("batch-formed"), out.batch_sizes.len());
+        assert_eq!(snap.counter_total("batches"), out.batch_sizes.len() as u64);
+        let depth = snap.series_named("queue_depth");
+        assert_eq!(depth.len(), 1, "one series on replica 0");
+        assert!(!depth[0].points.is_empty());
+        // SLO violations in the trace reconcile with the outcome.
+        let violated = out.records.iter().filter(|r| r.slo_violated).count();
+        assert_eq!(snap.count_kind("slo-violation"), violated);
+        // Causality: within the (single) replica, timestamps are monotone.
+        let stamps: Vec<u64> = snap.events.iter().map(|e| e.at.as_micros()).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn untraced_run_is_identical_to_traced_run() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let trace = ArrivalTrace::poisson(100, 80.0, 3);
+        let run = |telemetry: Option<Telemetry>| {
+            let mut sim = ServingSimulator::new(ServingConfig::clockwork(60.0, 8));
+            if let Some(t) = telemetry {
+                sim = sim.with_telemetry(t);
+            }
+            let mut policy = VanillaPolicy::new(exec_time);
+            sim.run(&trace, &samples(100), &mut policy, &exec_time)
+        };
+        let plain = run(None);
+        let traced = run(Some(Telemetry::recording(TelemetryConfig::default())));
+        assert_eq!(plain.records, traced.records);
+        assert_eq!(plain.batch_sizes, traced.batch_sizes);
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl Request {
 }
 
 /// What happened to one request, as recorded by the serving simulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RequestRecord {
     /// Request id.
     pub id: u64,

@@ -1,0 +1,333 @@
+//! Structured, sim-time-stamped trace events.
+//!
+//! Every event carries the simulated time it happened at, the replica it
+//! happened on (0 for single-replica runs), and a kind-specific payload. The
+//! kind names are stable lowercase strings so exported traces stay grep-able
+//! (CI validates required kinds with plain substring matches, the same way it
+//! checks `BENCH_apparate.json` suite coverage).
+
+use crate::export::escape_json;
+use apparate_sim::SimTime;
+
+/// Which direction of the GPU ↔ controller link a message travelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// GPU → controller profiling stream.
+    Up,
+    /// Controller → GPU threshold/ramp updates.
+    Down,
+}
+
+impl LinkDirection {
+    /// Stable lowercase name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkDirection::Up => "up",
+            LinkDirection::Down => "down",
+        }
+    }
+}
+
+/// What happened, with the fields that matter for that kind of event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The Algorithm 2 loop changed the active ramp set.
+    RampSetChanged {
+        /// Ramp sites newly activated.
+        activated: Vec<usize>,
+        /// Ramp sites deactivated.
+        deactivated: Vec<usize>,
+        /// Active ramp count after the change.
+        active_count: usize,
+    },
+    /// The controller issued a `ThresholdUpdate` onto the downlink.
+    UpdateIssued {
+        /// Configuration epoch the update establishes.
+        epoch: u64,
+        /// Whether the update ships replacement ramp definitions.
+        ramps_changed: bool,
+    },
+    /// A `ThresholdUpdate` landed on the GPU half and was applied.
+    UpdateDelivered {
+        /// Configuration epoch now in force on the GPU.
+        epoch: u64,
+        /// Whether the update shipped replacement ramp definitions.
+        ramps_changed: bool,
+    },
+    /// The controller discarded a profiling record from a stale epoch.
+    StaleRecordDropped {
+        /// Epoch the record was produced under.
+        record_epoch: u64,
+        /// Minimum epoch the controller currently accepts.
+        min_epoch: u64,
+    },
+    /// The fleet dispatcher routed a request to a replica.
+    Dispatch {
+        /// Request identifier.
+        request_id: u64,
+        /// Replica the request was routed to.
+        replica: u32,
+    },
+    /// The batching platform launched a batch (or the generative loop ran a
+    /// decode step). Span-shaped: `gpu_us` is the simulated GPU occupancy.
+    BatchFormed {
+        /// Requests (or token slots) in the batch.
+        size: u32,
+        /// Queue depth left behind after the batch drained.
+        queue_depth: usize,
+        /// Simulated GPU time the batch occupied, µs.
+        gpu_us: u64,
+    },
+    /// A request (or token) was released after its SLO deadline.
+    SloViolation {
+        /// Request identifier.
+        request_id: u64,
+        /// Observed latency (classification) or inter-token time
+        /// (generative), µs.
+        latency_us: u64,
+        /// The SLO it was held against, µs.
+        slo_us: u64,
+    },
+    /// One message crossed the GPU ↔ controller link. Span-shaped:
+    /// `latency_us` is the charged transfer latency.
+    LinkMessage {
+        /// Link direction.
+        direction: LinkDirection,
+        /// Wire bytes charged.
+        bytes: u64,
+        /// Charged transfer latency, µs.
+        latency_us: u64,
+    },
+    /// The controller completed a threshold-tuning round (Algorithm 1).
+    TuningRound {
+        /// Configuration epoch published by the round.
+        epoch: u64,
+        /// Whether the round changed any threshold.
+        thresholds_changed: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase kind name used in exports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EventKind::RampSetChanged { .. } => "ramp-set-changed",
+            EventKind::UpdateIssued { .. } => "update-issued",
+            EventKind::UpdateDelivered { .. } => "update-delivered",
+            EventKind::StaleRecordDropped { .. } => "stale-record-dropped",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::BatchFormed { .. } => "batch-formed",
+            EventKind::SloViolation { .. } => "slo-violation",
+            EventKind::LinkMessage { .. } => "link-message",
+            EventKind::TuningRound { .. } => "tuning-round",
+        }
+    }
+}
+
+/// One trace event: when, where, what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time the event happened at.
+    pub at: SimTime,
+    /// Replica the event happened on (0 outside fleet runs).
+    pub replica: u32,
+    /// Kind-specific payload.
+    pub kind: EventKind,
+}
+
+fn usize_list(xs: &[usize]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+    out
+}
+
+impl TraceEvent {
+    /// One JSON object, no trailing newline. Common fields first
+    /// (`at_us`, `replica`, `kind`), then the kind-specific payload.
+    pub fn to_json_line(&self) -> String {
+        let head = format!(
+            "{{\"at_us\":{},\"replica\":{},\"kind\":\"{}\"",
+            self.at.as_micros(),
+            self.replica,
+            escape_json(self.kind.kind_name()),
+        );
+        let tail = match &self.kind {
+            EventKind::RampSetChanged {
+                activated,
+                deactivated,
+                active_count,
+            } => format!(
+                ",\"activated\":{},\"deactivated\":{},\"active_count\":{}}}",
+                usize_list(activated),
+                usize_list(deactivated),
+                active_count,
+            ),
+            EventKind::UpdateIssued {
+                epoch,
+                ramps_changed,
+            }
+            | EventKind::UpdateDelivered {
+                epoch,
+                ramps_changed,
+            } => format!(",\"epoch\":{epoch},\"ramps_changed\":{ramps_changed}}}"),
+            EventKind::StaleRecordDropped {
+                record_epoch,
+                min_epoch,
+            } => format!(",\"record_epoch\":{record_epoch},\"min_epoch\":{min_epoch}}}"),
+            EventKind::Dispatch {
+                request_id,
+                replica,
+            } => format!(",\"request_id\":{request_id},\"to_replica\":{replica}}}"),
+            EventKind::BatchFormed {
+                size,
+                queue_depth,
+                gpu_us,
+            } => format!(",\"size\":{size},\"queue_depth\":{queue_depth},\"gpu_us\":{gpu_us}}}"),
+            EventKind::SloViolation {
+                request_id,
+                latency_us,
+                slo_us,
+            } => format!(
+                ",\"request_id\":{request_id},\"latency_us\":{latency_us},\"slo_us\":{slo_us}}}"
+            ),
+            EventKind::LinkMessage {
+                direction,
+                bytes,
+                latency_us,
+            } => format!(
+                ",\"direction\":\"{}\",\"bytes\":{bytes},\"latency_us\":{latency_us}}}",
+                direction.as_str(),
+            ),
+            EventKind::TuningRound {
+                epoch,
+                thresholds_changed,
+            } => format!(",\"epoch\":{epoch},\"thresholds_changed\":{thresholds_changed}}}"),
+        };
+        head + &tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        let kinds = [
+            (
+                EventKind::RampSetChanged {
+                    activated: vec![1],
+                    deactivated: vec![],
+                    active_count: 3,
+                },
+                "ramp-set-changed",
+            ),
+            (
+                EventKind::UpdateIssued {
+                    epoch: 1,
+                    ramps_changed: false,
+                },
+                "update-issued",
+            ),
+            (
+                EventKind::UpdateDelivered {
+                    epoch: 1,
+                    ramps_changed: true,
+                },
+                "update-delivered",
+            ),
+            (
+                EventKind::StaleRecordDropped {
+                    record_epoch: 0,
+                    min_epoch: 1,
+                },
+                "stale-record-dropped",
+            ),
+            (
+                EventKind::Dispatch {
+                    request_id: 7,
+                    replica: 2,
+                },
+                "dispatch",
+            ),
+            (
+                EventKind::BatchFormed {
+                    size: 8,
+                    queue_depth: 1,
+                    gpu_us: 900,
+                },
+                "batch-formed",
+            ),
+            (
+                EventKind::SloViolation {
+                    request_id: 7,
+                    latency_us: 12_000,
+                    slo_us: 10_000,
+                },
+                "slo-violation",
+            ),
+            (
+                EventKind::LinkMessage {
+                    direction: LinkDirection::Up,
+                    bytes: 1024,
+                    latency_us: 425,
+                },
+                "link-message",
+            ),
+            (
+                EventKind::TuningRound {
+                    epoch: 2,
+                    thresholds_changed: true,
+                },
+                "tuning-round",
+            ),
+        ];
+        for (kind, name) in kinds {
+            assert_eq!(kind.kind_name(), name);
+        }
+    }
+
+    #[test]
+    fn json_line_carries_common_and_payload_fields() {
+        let event = TraceEvent {
+            at: SimTime::from_micros(1234),
+            replica: 3,
+            kind: EventKind::RampSetChanged {
+                activated: vec![2, 5],
+                deactivated: vec![1],
+                active_count: 4,
+            },
+        };
+        let line = event.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"at_us\":1234"));
+        assert!(line.contains("\"replica\":3"));
+        assert!(line.contains("\"kind\":\"ramp-set-changed\""));
+        assert!(line.contains("\"activated\":[2,5]"));
+        assert!(line.contains("\"deactivated\":[1]"));
+        assert!(line.contains("\"active_count\":4"));
+    }
+
+    #[test]
+    fn link_message_names_its_direction() {
+        let event = TraceEvent {
+            at: SimTime::ZERO,
+            replica: 0,
+            kind: EventKind::LinkMessage {
+                direction: LinkDirection::Down,
+                bytes: 10_240,
+                latency_us: 650,
+            },
+        };
+        let line = event.to_json_line();
+        assert!(line.contains("\"direction\":\"down\""));
+        assert!(line.contains("\"bytes\":10240"));
+        assert!(line.contains("\"latency_us\":650"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Telemetry hot paths: the disabled (no-op) sink, the recording sink, and
+//! the JSON-lines exporters.
+//!
+//! Run via `cargo bench -p apparate-bench --bench bench_telemetry -- --quick`
+//! (`--smoke`, `--seed N` also accepted); the suite itself lives in
+//! `apparate_bench::suites`, shared with the `bench` binary.
+
+fn main() {
+    apparate_bench::bench_main("telemetry");
+}

@@ -1,4 +1,4 @@
-//! The nine benchmark suites, measuring the workspace's hot paths:
+//! The ten benchmark suites, measuring the workspace's hot paths:
 //!
 //! | suite         | what it measures                                         |
 //! |---------------|----------------------------------------------------------|
@@ -11,6 +11,7 @@
 //! | `e2e`         | repro quick-run scenarios (`apparate-experiments`)       |
 //! | `overhead`    | GPU↔controller feedback link + controller-in-the-loop    |
 //! | `scale`       | CV + generative fleet runs across replica counts + sharding |
+//! | `telemetry`   | disabled/recording sinks + JSON-lines export (`apparate-telemetry`) |
 //!
 //! Every suite is a plain function from a [`BenchContext`] to a list of
 //! [`BenchReport`]s, registered in [`SUITES`]. Fixtures are built once per
@@ -78,6 +79,7 @@ pub const SUITES: &[(&str, SuiteFn)] = &[
     ("e2e", e2e),
     ("overhead", overhead),
     ("scale", scale),
+    ("telemetry", telemetry),
 ];
 
 /// Names of all registered suites, in run order.
@@ -409,7 +411,10 @@ fn generative(ctx: &BenchContext) -> Vec<BenchReport> {
         })
         .collect();
     let tokens = WorkloadTokens(&workload);
-    let sim = GenerativeSimulator::new(ContinuousBatchingConfig { max_batch_size: 16 });
+    let sim = GenerativeSimulator::new(ContinuousBatchingConfig {
+        max_batch_size: 16,
+        tbt_slo: None,
+    });
     let deployment = deploy_budget_sites(
         &model,
         &semantics,
@@ -652,12 +657,89 @@ fn scale(ctx: &BenchContext) -> Vec<BenchReport> {
     reports
 }
 
+// ---------------------------------------------------------------------------
+// telemetry — the observability sinks and exporters
+// ---------------------------------------------------------------------------
+
+fn telemetry(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "telemetry";
+    use apparate_sim::SimTime;
+    use apparate_telemetry::{
+        render_metrics_json_lines, render_trace_json_lines, EventKind, Telemetry, TelemetryConfig,
+    };
+
+    let n = ctx.scaled(4_096) as u64;
+    let disabled = Telemetry::disabled();
+    // A pre-recorded snapshot for the exporter benchmarks, shaped like a
+    // short serving run (events + one sampled series + counters).
+    let recorded = {
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        for i in 0..n {
+            telemetry.emit(SimTime::from_micros(i * 100), || EventKind::BatchFormed {
+                size: (i % 8) as u32 + 1,
+                queue_depth: (i % 5) as usize,
+                gpu_us: 900,
+            });
+            telemetry.gauge(SimTime::from_micros(i * 100), "queue_depth", (i % 5) as f64);
+            telemetry.counter("batches", 1);
+        }
+        telemetry.snapshot().expect("recording handle")
+    };
+
+    vec![
+        // The gate the whole design hangs on: a disabled sink inside the
+        // serving hot loop must cost one discriminant check — the event
+        // constructor (with its Vec allocation) must never run.
+        ctx.bench(SUITE, "emit/disabled-per-4k", || {
+            let mut acc = 0u64;
+            for i in 0..n {
+                disabled.emit(SimTime::from_micros(i), || EventKind::RampSetChanged {
+                    activated: vec![1, 2, 3],
+                    deactivated: vec![4],
+                    active_count: 3,
+                });
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        }),
+        ctx.bench(SUITE, "gauge/disabled-per-4k", || {
+            for i in 0..n {
+                disabled.gauge(SimTime::from_micros(i), "queue_depth", i as f64);
+            }
+        }),
+        ctx.bench(SUITE, "emit/recording-per-4k", || {
+            let telemetry = Telemetry::recording(TelemetryConfig::default());
+            for i in 0..n {
+                telemetry.emit(SimTime::from_micros(i * 100), || EventKind::BatchFormed {
+                    size: 8,
+                    queue_depth: 2,
+                    gpu_us: 900,
+                });
+            }
+            telemetry
+        }),
+        ctx.bench(SUITE, "gauge/recording-sampled-per-4k", || {
+            let telemetry = Telemetry::recording(TelemetryConfig::default());
+            for i in 0..n {
+                telemetry.gauge(SimTime::from_micros(i * 100), "queue_depth", (i % 5) as f64);
+            }
+            telemetry
+        }),
+        ctx.bench(SUITE, "export/trace-json-lines", || {
+            render_trace_json_lines(&recorded).len()
+        }),
+        ctx.bench(SUITE, "export/metrics-json-lines", || {
+            render_metrics_json_lines(&recorded).len()
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn suite_registry_has_the_nine_suites() {
+    fn suite_registry_has_the_ten_suites() {
         assert_eq!(
             suite_names(),
             vec![
@@ -669,7 +751,8 @@ mod tests {
                 "sensitivity",
                 "e2e",
                 "overhead",
-                "scale"
+                "scale",
+                "telemetry"
             ]
         );
     }

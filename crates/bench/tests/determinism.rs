@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// All suites the consolidated report must cover, in run order.
-const EXPECTED_SUITES: [&str; 9] = [
+const EXPECTED_SUITES: [&str; 10] = [
     "tuning",
     "adaptation",
     "prep",
@@ -20,6 +20,7 @@ const EXPECTED_SUITES: [&str; 9] = [
     "e2e",
     "overhead",
     "scale",
+    "telemetry",
 ];
 
 /// Extract the string value of `"key":"…"` from a JSON line written by the

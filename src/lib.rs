@@ -5,6 +5,8 @@
 //! examples in `examples/`) can depend on a single crate:
 //!
 //! * [`sim`] — virtual time, splittable deterministic RNG, event queue, stats.
+//! * [`telemetry`] — sim-time event tracing and sampled metrics, with
+//!   JSON-lines and chrome://tracing exporters (zero-cost when disabled).
 //! * [`model`] — layer IR, model graphs, latency models, the model zoo.
 //! * [`exec`] — ramp semantics, execution plans, GPU accounting.
 //! * [`workload`] — synthetic CV / NLP / generative difficulty streams.
@@ -22,8 +24,9 @@
 //!
 //! and the scale-out / sensitivity mode with `repro --sweep`. The narrated
 //! walkthroughs in `examples/` (`quickstart`, `video_analytics`,
-//! `sentiment_serving`, `generative_llm`) are the best entry points for
-//! reading; `README.md` maps every crate to the paper section it reproduces.
+//! `sentiment_serving`, `generative_llm`, `telemetry`) are the best entry
+//! points for reading; `README.md` maps every crate to the paper section it
+//! reproduces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,4 +38,5 @@ pub use apparate_experiments as experiments;
 pub use apparate_model as model;
 pub use apparate_serving as serving;
 pub use apparate_sim as sim;
+pub use apparate_telemetry as telemetry;
 pub use apparate_workload as workload;
