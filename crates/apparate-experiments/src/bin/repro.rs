@@ -13,13 +13,17 @@
 //!
 //! ```text
 //! repro [--seed N] [--quick] [--scenario cv|nlp|generative|all] [--sweep]
-//!       [--trace-out PATH] [--metrics-out PATH] [--chrome-out PATH]
+//!       [--threads N] [--trace-out PATH] [--metrics-out PATH] [--chrome-out PATH]
 //! ```
 //!
 //! `--sweep` switches to the scale-out/sensitivity mode: fleet-level win
 //! tables for 1/2/4/8 replicas over the shared CV trace *and* the shared
 //! generative request stream (least-loaded dispatch), then the SLO
 //! (Figure 17) and accuracy-constraint (Figure 19) sensitivity grids.
+//! `--threads N` bounds the worker threads fleet replicas run on (default:
+//! available parallelism; `1` forces the sequential path). The thread count
+//! only changes wall-clock time — tables and telemetry exports are
+//! byte-identical for every value.
 //!
 //! The `--*-out` flags enable telemetry: the Apparate runs (baselines stay
 //! untraced) record the structured event trace and the sampled metrics
@@ -30,11 +34,11 @@
 //! observability must not look like success.
 
 use apparate_experiments::{
-    render_fleet_summary, run_classification_fleet, run_classification_fleet_traced,
-    run_generative_fleet, run_scenarios_traced, scenario_config, sensitivity_sweeps, OverheadTable,
-    ReproSizes, ScenarioSelect, SensitivityGrid,
+    render_fleet_summary, run_classification_fleet_threaded, run_classification_fleet_traced,
+    run_generative_fleet_threaded, run_scenarios_traced, scenario_config, sensitivity_sweeps,
+    OverheadTable, ReproSizes, ScenarioSelect, SensitivityGrid,
 };
-use apparate_serving::FleetDispatch;
+use apparate_serving::{available_threads, FleetDispatch};
 use apparate_telemetry::{
     render_chrome_trace, render_metrics_json_lines, render_trace_json_lines, Telemetry,
     TelemetryConfig,
@@ -43,7 +47,7 @@ use apparate_telemetry::{
 /// One-line usage synopsis, printed by `--help` and after every argument
 /// error (exit code 2).
 const USAGE: &str = "usage: repro [--seed N] [--quick] [--scenario cv|nlp|generative|all] \
-     [--sweep] [--trace-out PATH] [--metrics-out PATH] [--chrome-out PATH]";
+     [--sweep] [--threads N] [--trace-out PATH] [--metrics-out PATH] [--chrome-out PATH]";
 
 #[derive(Debug, PartialEq)]
 struct Args {
@@ -51,6 +55,7 @@ struct Args {
     quick: bool,
     scenario: Option<ScenarioSelect>,
     sweep: bool,
+    threads: Option<usize>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     chrome_out: Option<String>,
@@ -60,6 +65,13 @@ impl Args {
     /// True when any export flag was given, i.e. the run should record.
     fn wants_telemetry(&self) -> bool {
         self.trace_out.is_some() || self.metrics_out.is_some() || self.chrome_out.is_some()
+    }
+
+    /// The fleet worker-thread count: `--threads N` when given, else the
+    /// machine's available parallelism. Never printed — output must not
+    /// depend on it.
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(available_threads)
     }
 }
 
@@ -71,6 +83,7 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         quick: false,
         scenario: None,
         sweep: false,
+        threads: None,
         trace_out: None,
         metrics_out: None,
         chrome_out: None,
@@ -86,6 +99,16 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             }
             "--quick" => args.quick = true,
             "--sweep" => args.sweep = true,
+            "--threads" => {
+                let value = it.next().ok_or("--threads requires a value")?;
+                let threads: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count: {value}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(threads);
+            }
             "--scenario" => {
                 let value = it.next().ok_or("--scenario requires a value")?;
                 args.scenario = Some(value.parse()?);
@@ -197,7 +220,7 @@ fn main() {
         Telemetry::disabled()
     };
     if args.sweep {
-        run_sweep(args.seed, args.quick, sizes, &telemetry);
+        run_sweep(args.seed, args.quick, sizes, &telemetry, args.threads());
         export_telemetry(&args, &telemetry);
         return;
     }
@@ -242,7 +265,7 @@ fn main() {
 /// sim clock) into one snapshot would interleave restarting clocks within a
 /// series. One fully-provisioned fleet gives every replica a clean
 /// queue-depth/link series.
-fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes, telemetry: &Telemetry) {
+fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes, telemetry: &Telemetry, threads: usize) {
     // Sensitivity points and fleet runs re-simulate the scenario per grid
     // cell, so they run at (at most) quick scale even in full mode.
     let frames = sizes.cv_frames.min(ReproSizes::quick().cv_frames);
@@ -274,9 +297,15 @@ fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes, telemetry: &Telemetry) {
                 FleetDispatch::LeastLoaded,
                 scenario_config(),
                 telemetry,
+                threads,
             )
         } else {
-            run_classification_fleet(&scenario, replicas, FleetDispatch::LeastLoaded)
+            run_classification_fleet_threaded(
+                &scenario,
+                replicas,
+                FleetDispatch::LeastLoaded,
+                threads,
+            )
         };
         emit(&format!("{}\n", run.table.render()));
         runs.push(run);
@@ -293,7 +322,12 @@ fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes, telemetry: &Telemetry) {
         apparate_experiments::generative_scenario(seed, gen_requests).with_arrival_scale(8.0);
     let mut gen_runs = Vec::new();
     for replicas in [1usize, 2, 4, 8] {
-        let run = run_generative_fleet(&generative, replicas, FleetDispatch::LeastLoaded);
+        let run = run_generative_fleet_threaded(
+            &generative,
+            replicas,
+            FleetDispatch::LeastLoaded,
+            threads,
+        );
         emit(&format!("{}\n", run.table.render()));
         gen_runs.push(run);
     }
@@ -358,6 +392,28 @@ mod tests {
         assert!(parse(&["--scenario"]).is_err());
         assert!(parse(&["--scenario", "no-such-scenario"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_defaults_to_available_parallelism() {
+        let args = parse(&[]).expect("defaults");
+        assert_eq!(args.threads, None);
+        assert!(args.threads() >= 1, "default must be a usable thread count");
+
+        let args = parse(&["--threads", "4"]).expect("valid argv");
+        assert_eq!(args.threads, Some(4));
+        assert_eq!(args.threads(), 4);
+
+        // Composes with both modes.
+        assert!(parse(&["--sweep", "--threads", "1"]).is_ok());
+        assert!(parse(&["--quick", "--threads", "8"]).is_ok());
+    }
+
+    #[test]
+    fn threads_flag_rejects_zero_and_garbage() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
     }
 
     #[test]

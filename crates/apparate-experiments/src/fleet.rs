@@ -29,9 +29,9 @@ use apparate_baselines::{
 use apparate_core::ApparateConfig;
 use apparate_exec::{LinkStats, OverheadReport};
 use apparate_serving::{
-    ExitPolicy, FleetDispatch, FleetOutcome, GenerativeFleetOutcome, GenerativeReplicaFleet,
-    LatencySummary, ReplicaFleet, ReplicaServer, RequestShard, TokenPolicy, TokenReplicaServer,
-    TraceShard, VanillaTokenPolicy,
+    available_threads, FleetDispatch, FleetOutcome, FleetOutcomeView, GenerativeFleetOutcome,
+    GenerativeReplicaFleet, LatencySummary, ReplicaFleet, ReplicaUnit, RequestShard,
+    ServingOutcome, TokenReplicaUnit, TraceShard, VanillaTokenPolicy,
 };
 use apparate_sim::SimDuration;
 use apparate_telemetry::Telemetry;
@@ -80,35 +80,58 @@ fn add_stats(total: &mut LinkStats, part: &LinkStats) {
 /// a classification scenario's shared arrival trace. Every replica runs the
 /// scenario's serving config; each Apparate replica is warm-started on the
 /// shared bootstrap validation split and coordinates over its own link.
+/// Replicas execute wall-clock parallel on up to [`available_threads`]
+/// workers; the merged outcome is identical for any thread count.
 pub fn run_classification_fleet(
     scenario: &ClassificationScenario,
     replicas: usize,
     dispatch: FleetDispatch,
 ) -> FleetRun {
-    run_classification_fleet_with_config(scenario, replicas, dispatch, scenario_config())
+    run_classification_fleet_threaded(scenario, replicas, dispatch, available_threads())
 }
 
-/// Like [`run_classification_fleet`], with an explicit controller config.
+/// Like [`run_classification_fleet`], with an explicit worker-thread count
+/// (`1` ⇒ the sequential path).
+pub fn run_classification_fleet_threaded(
+    scenario: &ClassificationScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    threads: usize,
+) -> FleetRun {
+    run_classification_fleet_with_config(scenario, replicas, dispatch, scenario_config(), threads)
+}
+
+/// Like [`run_classification_fleet_threaded`], with an explicit controller
+/// config.
 pub fn run_classification_fleet_with_config(
     scenario: &ClassificationScenario,
     replicas: usize,
     dispatch: FleetDispatch,
     config: ApparateConfig,
+    threads: usize,
 ) -> FleetRun {
-    run_classification_fleet_traced(scenario, replicas, dispatch, config, &Telemetry::disabled())
+    run_classification_fleet_traced(
+        scenario,
+        replicas,
+        dispatch,
+        config,
+        &Telemetry::disabled(),
+        threads,
+    )
 }
 
 /// Like [`run_classification_fleet_with_config`], with a telemetry sink
 /// attached to the Apparate fleet's run: the dispatcher traces its per-arrival
-/// decisions, every replica's serving events are tagged with its replica
-/// index, and each replica's controller and links are traced. The vanilla and
-/// static-EE fleets stay untraced.
+/// decisions, every replica's serving events land in that replica's buffer
+/// (derived via [`Telemetry::for_replica`]), and each replica's controller and
+/// links are traced. The vanilla and static-EE fleets stay untraced.
 pub fn run_classification_fleet_traced(
     scenario: &ClassificationScenario,
     replicas: usize,
     dispatch: FleetDispatch,
     config: ApparateConfig,
     telemetry: &Telemetry,
+    threads: usize,
 ) -> FleetRun {
     let split = scenario.workload.bootstrap_split();
     let serving_samples = split.serving;
@@ -132,15 +155,16 @@ pub fn run_classification_fleet_traced(
             .map(|_| vanilla_policy(&vanilla_plan))
             .collect();
         let estimate = batch_time_fn(&vanilla_plan);
-        let servers: Vec<ReplicaServer<'_>> = policies
-            .iter_mut()
-            .map(|p| ReplicaServer {
-                policy: p as &mut dyn ExitPolicy,
-                estimate: &estimate,
-                feedback: None,
-            })
-            .collect();
-        let out = fleet.run_sharded(&shards, serving_samples, servers);
+        let out = fleet
+            .serve(&shards, serving_samples)
+            .units(
+                policies
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(r, p)| ReplicaUnit::new(format!("vanilla-{r}"), p, &estimate)),
+            )
+            .threads(threads)
+            .run();
         summaries.push(out.summary("vanilla"));
     }
     // Static-EE fleet (fixed ramps, fixed threshold, no controller).
@@ -149,15 +173,16 @@ pub fn run_classification_fleet_traced(
             .map(|_| StaticExitPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee"))
             .collect();
         let estimate = batch_time_fn(&budget_plan);
-        let servers: Vec<ReplicaServer<'_>> = policies
-            .iter_mut()
-            .map(|p| ReplicaServer {
-                policy: p as &mut dyn ExitPolicy,
-                estimate: &estimate,
-                feedback: None,
-            })
-            .collect();
-        let out = fleet.run_sharded(&shards, serving_samples, servers);
+        let out = fleet
+            .serve(&shards, serving_samples)
+            .units(
+                policies
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(r, p)| ReplicaUnit::new(format!("static-ee-{r}"), p, &estimate)),
+            )
+            .threads(threads)
+            .run();
         summaries.push(out.summary("static-ee"));
     }
     // Apparate fleet: one warm-started controller per replica, each over its
@@ -171,6 +196,7 @@ pub fn run_classification_fleet_traced(
         config,
         scenario.reference_batch,
         telemetry,
+        threads,
     );
     summaries.push(apparate_out.summary("apparate"));
 
@@ -204,20 +230,23 @@ fn apparate_fleet(
     config: ApparateConfig,
     reference_batch: u32,
     telemetry: &Telemetry,
-) -> (FleetOutcome, OverheadReport) {
+    threads: usize,
+) -> (FleetOutcome<ServingOutcome>, OverheadReport) {
     // Only the Apparate fleet is traced: attach the sink to a clone of the
     // (config-only) fleet handle so the baseline families stay untraced.
     let fleet = fleet.clone().with_telemetry(telemetry.clone());
     let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
     let mut policies: Vec<ApparatePolicy> = (0..fleet.replicas)
-        .map(|_| {
+        .map(|r| {
             let mut policy = ApparatePolicy::warm_started(
                 dep_budget.clone(),
                 config,
                 reference_batch,
                 validation,
             );
-            policy.set_telemetry(telemetry.clone());
+            // Controller events carry this replica's tag and land in its
+            // per-replica buffer, so parallel replicas never contend.
+            policy.set_telemetry(telemetry.for_replica(r as u32));
             policy
         })
         .collect();
@@ -227,18 +256,14 @@ fn apparate_fleet(
     let estimate = |b: u32| {
         SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(b) * (1.0 + config.ramp_budget))
     };
-    let servers: Vec<ReplicaServer<'_>> = policies
-        .iter_mut()
-        .map(|p| {
-            let feedback = Some(p.feedback_sender());
-            ReplicaServer {
-                policy: p as &mut dyn ExitPolicy,
-                estimate: &estimate,
-                feedback,
-            }
-        })
-        .collect();
-    let out = fleet.run_sharded(shards, serving_samples, servers);
+    let out = fleet
+        .serve(shards, serving_samples)
+        .units(policies.iter_mut().enumerate().map(|(r, p)| {
+            let feedback = p.feedback_sender();
+            ReplicaUnit::new(format!("apparate-{r}"), p, &estimate).with_feedback(feedback)
+        }))
+        .threads(threads)
+        .run();
     let mut overhead = OverheadReport::default();
     for policy in &policies {
         let report = policy.overhead_report();
@@ -261,16 +286,34 @@ pub fn run_generative_fleet(
     replicas: usize,
     dispatch: FleetDispatch,
 ) -> FleetRun {
-    run_generative_fleet_traced(scenario, replicas, dispatch, &Telemetry::disabled())
+    run_generative_fleet_threaded(scenario, replicas, dispatch, available_threads())
 }
 
-/// Like [`run_generative_fleet`], with a telemetry sink attached to the
-/// Apparate fleet's run (see [`run_classification_fleet_traced`]).
+/// Like [`run_generative_fleet`], with an explicit worker-thread count
+/// (`1` ⇒ the sequential path).
+pub fn run_generative_fleet_threaded(
+    scenario: &GenerativeScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    threads: usize,
+) -> FleetRun {
+    run_generative_fleet_traced(
+        scenario,
+        replicas,
+        dispatch,
+        &Telemetry::disabled(),
+        threads,
+    )
+}
+
+/// Like [`run_generative_fleet_threaded`], with a telemetry sink attached to
+/// the Apparate fleet's run (see [`run_classification_fleet_traced`]).
 pub fn run_generative_fleet_traced(
     scenario: &GenerativeScenario,
     replicas: usize,
     dispatch: FleetDispatch,
     telemetry: &Telemetry,
+    threads: usize,
 ) -> FleetRun {
     let config = scenario_config();
     let (_, dep_budget) = generative_fixture(scenario, &config);
@@ -299,14 +342,16 @@ pub fn run_generative_fleet_traced(
                 })
             })
             .collect();
-        let servers: Vec<TokenReplicaServer<'_>> = policies
-            .iter_mut()
-            .map(|p| TokenReplicaServer {
-                policy: p as &mut dyn TokenPolicy,
-                feedback: None,
-            })
-            .collect();
-        let out = fleet.run_sharded(&shards, &tokens, servers);
+        let out = fleet
+            .serve(&shards, &tokens)
+            .units(
+                policies
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(r, p)| TokenReplicaUnit::new(format!("vanilla-{r}"), p)),
+            )
+            .threads(threads)
+            .run();
         summaries.push(out.summary("vanilla"));
     }
     // Static-EE fleet (fixed ramps, fixed threshold, no controller).
@@ -314,14 +359,16 @@ pub fn run_generative_fleet_traced(
         let mut policies: Vec<_> = (0..replicas)
             .map(|_| StaticTokenPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee"))
             .collect();
-        let servers: Vec<TokenReplicaServer<'_>> = policies
-            .iter_mut()
-            .map(|p| TokenReplicaServer {
-                policy: p as &mut dyn TokenPolicy,
-                feedback: None,
-            })
-            .collect();
-        let out = fleet.run_sharded(&shards, &tokens, servers);
+        let out = fleet
+            .serve(&shards, &tokens)
+            .units(
+                policies
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(r, p)| TokenReplicaUnit::new(format!("static-ee-{r}"), p)),
+            )
+            .threads(threads)
+            .run();
         summaries.push(out.summary("static-ee"));
     }
     // Apparate fleet: one warm-started token controller per replica, each
@@ -335,6 +382,7 @@ pub fn run_generative_fleet_traced(
         config,
         scenario.reference_batch,
         telemetry,
+        threads,
     );
     summaries.push(apparate_out.summary("apparate"));
 
@@ -368,31 +416,31 @@ fn apparate_generative_fleet(
     config: ApparateConfig,
     reference_batch: u32,
     telemetry: &Telemetry,
+    threads: usize,
 ) -> (GenerativeFleetOutcome, OverheadReport) {
     let fleet = fleet.clone().with_telemetry(telemetry.clone());
     let mut policies: Vec<ApparateTokenPolicy> = (0..fleet.replicas)
-        .map(|_| {
+        .map(|r| {
             let mut policy = ApparateTokenPolicy::warm_started(
                 dep_budget.clone(),
                 config,
                 reference_batch,
                 calibration,
             );
-            policy.set_telemetry(telemetry.clone());
+            // Controller events carry this replica's tag and land in its
+            // per-replica buffer, so parallel replicas never contend.
+            policy.set_telemetry(telemetry.for_replica(r as u32));
             policy
         })
         .collect();
-    let servers: Vec<TokenReplicaServer<'_>> = policies
-        .iter_mut()
-        .map(|p| {
-            let feedback = Some(p.feedback_sender());
-            TokenReplicaServer {
-                policy: p as &mut dyn TokenPolicy,
-                feedback,
-            }
-        })
-        .collect();
-    let out = fleet.run_sharded(shards, tokens, servers);
+    let out = fleet
+        .serve(shards, tokens)
+        .units(policies.iter_mut().enumerate().map(|(r, p)| {
+            let feedback = p.feedback_sender();
+            TokenReplicaUnit::new(format!("apparate-{r}"), p).with_feedback(feedback)
+        }))
+        .threads(threads)
+        .run();
     let mut overhead = OverheadReport::default();
     for policy in &policies {
         let report = policy.overhead_report();

@@ -33,9 +33,9 @@ pub mod sweep;
 
 pub use controller::{ApparatePolicy, ApparateTokenPolicy, ControllerStats};
 pub use fleet::{
-    render_fleet_summary, run_classification_fleet, run_classification_fleet_traced,
-    run_classification_fleet_with_config, run_generative_fleet, run_generative_fleet_traced,
-    FleetRun,
+    render_fleet_summary, run_classification_fleet, run_classification_fleet_threaded,
+    run_classification_fleet_traced, run_classification_fleet_with_config, run_generative_fleet,
+    run_generative_fleet_threaded, run_generative_fleet_traced, FleetRun,
 };
 pub use report::{ComparisonTable, OverheadRow, OverheadTable, PolicyRow};
 pub use scenario::{

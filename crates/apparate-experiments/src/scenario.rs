@@ -172,29 +172,33 @@ pub fn run_scenarios_traced(
 ) -> Vec<ScenarioRun> {
     let mut runs = Vec::new();
     let mut lane = 0u32;
-    let mut next_lane = |telemetry: &Telemetry| {
-        telemetry.set_replica(lane);
+    // Scenario lanes are derived handles over the same session: lane `i`
+    // records into its own per-replica buffer and the merged snapshot keys
+    // series/counters by `(name, lane)`.
+    let mut next_lane = || {
+        let handle = telemetry.for_replica(lane);
         lane += 1;
+        handle
     };
     if matches!(select, ScenarioSelect::Cv | ScenarioSelect::All) {
-        next_lane(telemetry);
+        let lane = next_lane();
         runs.push(run_classification_traced(
             &cv_scenario(seed, sizes.cv_frames),
-            telemetry,
+            &lane,
         ));
     }
     if matches!(select, ScenarioSelect::Nlp | ScenarioSelect::All) {
-        next_lane(telemetry);
+        let lane = next_lane();
         runs.push(run_classification_traced(
             &nlp_scenario(seed, sizes.nlp_requests),
-            telemetry,
+            &lane,
         ));
     }
     if matches!(select, ScenarioSelect::Generative | ScenarioSelect::All) {
-        next_lane(telemetry);
+        let lane = next_lane();
         runs.push(run_generative_traced(
             &generative_scenario(seed, sizes.gen_requests),
-            telemetry,
+            &lane,
         ));
     }
     runs

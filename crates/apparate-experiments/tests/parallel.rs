@@ -1,0 +1,133 @@
+//! Parallelism determinism suite: the fleet worker-thread count must never
+//! leak into any observable output. Same seed + any `threads` value ⇒
+//! byte-identical win tables, byte-identical telemetry exports (event trace
+//! and metrics JSON-lines), identical coordination bills — for both the
+//! classification fleet and the generative (decode-loop) fleet.
+//!
+//! This is the acceptance contract of the `--threads` knob: parallel fleet
+//! execution buys wall-clock time only.
+
+use apparate_experiments::{
+    cv_scenario, generative_scenario, run_classification_fleet_traced, run_generative_fleet_traced,
+    scenario_config,
+};
+use apparate_serving::FleetDispatch;
+use apparate_telemetry::{
+    render_metrics_json_lines, render_trace_json_lines, Telemetry, TelemetryConfig,
+};
+
+/// Render everything observable about one traced classification fleet run at
+/// the given thread count: the win table plus both JSON-lines exports.
+fn classification_artifacts(threads: usize) -> (String, String, String) {
+    let telemetry = Telemetry::recording(TelemetryConfig::default());
+    let run = run_classification_fleet_traced(
+        &cv_scenario(42, 1_500),
+        4,
+        FleetDispatch::LeastLoaded,
+        scenario_config(),
+        &telemetry,
+        threads,
+    );
+    let snapshot = telemetry.snapshot().expect("recording sink");
+    (
+        run.table.render(),
+        render_trace_json_lines(&snapshot),
+        render_metrics_json_lines(&snapshot),
+    )
+}
+
+/// Same, for the generative fleet (TPT tables, decode-loop telemetry).
+fn generative_artifacts(threads: usize) -> (String, String, String) {
+    let telemetry = Telemetry::recording(TelemetryConfig::default());
+    let run = run_generative_fleet_traced(
+        &generative_scenario(42, 48),
+        4,
+        FleetDispatch::LeastLoaded,
+        &telemetry,
+        threads,
+    );
+    let snapshot = telemetry.snapshot().expect("recording sink");
+    (
+        run.table.render(),
+        render_trace_json_lines(&snapshot),
+        render_metrics_json_lines(&snapshot),
+    )
+}
+
+#[test]
+fn classification_artifacts_are_byte_identical_across_thread_counts() {
+    let (table1, trace1, metrics1) = classification_artifacts(1);
+    assert!(!trace1.is_empty(), "the traced run must record events");
+    for threads in [2, 8] {
+        let (table, trace, metrics) = classification_artifacts(threads);
+        assert_eq!(
+            table1, table,
+            "win table diverged from sequential at {threads} threads"
+        );
+        assert_eq!(
+            trace1, trace,
+            "event-trace export diverged from sequential at {threads} threads"
+        );
+        assert_eq!(
+            metrics1, metrics,
+            "metrics export diverged from sequential at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn generative_artifacts_are_byte_identical_across_thread_counts() {
+    let (table1, trace1, metrics1) = generative_artifacts(1);
+    assert!(!trace1.is_empty(), "the traced run must record events");
+    for threads in [2, 8] {
+        let (table, trace, metrics) = generative_artifacts(threads);
+        assert_eq!(
+            table1, table,
+            "win table diverged from sequential at {threads} threads"
+        );
+        assert_eq!(
+            trace1, trace,
+            "event-trace export diverged from sequential at {threads} threads"
+        );
+        assert_eq!(
+            metrics1, metrics,
+            "metrics export diverged from sequential at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn coordination_bill_is_thread_count_invariant() {
+    // The §4.5 overhead bill sums per-replica link charges; a thread-count
+    // dependence here would mean controllers observed different profiling
+    // streams under parallel execution.
+    let run = |threads: usize| {
+        run_classification_fleet_traced(
+            &cv_scenario(42, 1_500),
+            4,
+            FleetDispatch::LeastLoaded,
+            scenario_config(),
+            &Telemetry::disabled(),
+            threads,
+        )
+    };
+    let sequential = run(1);
+    let parallel = run(8);
+    assert_eq!(sequential.shard_sizes, parallel.shard_sizes);
+    assert_eq!(
+        sequential.overhead.report.uplink.messages,
+        parallel.overhead.report.uplink.messages
+    );
+    assert_eq!(
+        sequential.overhead.report.uplink.bytes,
+        parallel.overhead.report.uplink.bytes
+    );
+    assert_eq!(
+        sequential.overhead.report.downlink.messages,
+        parallel.overhead.report.downlink.messages
+    );
+    assert_eq!(
+        sequential.overhead.report.total_latency(),
+        parallel.overhead.report.total_latency()
+    );
+}

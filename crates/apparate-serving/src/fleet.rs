@@ -10,11 +10,22 @@
 //! * [`shard_arrivals`] / [`TraceShard`] — deterministic sharding of one
 //!   shared [`ArrivalTrace`] into per-replica sub-traces that preserve
 //!   absolute arrival times (replicas run in parallel wall-clock time);
-//! * [`ReplicaFleet`] — runs one [`ReplicaServer`] per shard through the
-//!   classification serving simulator and returns a [`FleetOutcome`];
-//! * [`FleetOutcome`] — per-replica [`ServingOutcome`]s aggregated into
-//!   fleet-level latency/accuracy/throughput views (the fleet makespan is the
+//! * [`ReplicaFleet::serve`] / [`GenerativeReplicaFleet::serve`] — build a
+//!   [`FleetRun`]: named per-replica units ([`ReplicaUnit`] /
+//!   [`TokenReplicaUnit`]) over shared read-only shards and samples, with an
+//!   explicit [`FleetRun::threads`] knob (default: available parallelism,
+//!   `1` ⇒ the sequential path);
+//! * [`FleetOutcome`] — per-replica outcomes aggregated into fleet-level
+//!   views via the [`FleetOutcomeView`] trait (the fleet makespan is the
 //!   slowest replica's; latencies pool across every replica).
+//!
+//! Replicas are independent discrete-event simulations over disjoint shards,
+//! so a [`FleetRun`] executes them on real scoped threads
+//! (`crossbeam::thread::scope`) and still produces *byte-identical* merged
+//! output for any thread count: each replica records telemetry through its
+//! own [`Telemetry::for_replica`] handle into a per-replica buffer, results
+//! are joined and re-ordered by replica index, and the telemetry snapshot
+//! merges buffers deterministically by `(time, replica)`.
 //!
 //! The generative analogue shards whole *sequences* instead of arrivals (a
 //! sequence's decode steps are stateful, so it must stay on one replica):
@@ -22,7 +33,7 @@
 //! * [`shard_requests`] / [`RequestShard`] — deterministic sharding of one
 //!   shared generative request stream, with the least-loaded backlog model
 //!   weighting each request by its output length;
-//! * [`GenerativeReplicaFleet`] — runs one [`TokenReplicaServer`] per shard
+//! * [`GenerativeReplicaFleet`] — runs one [`TokenReplicaUnit`] per shard
 //!   through the continuous-batching decode loop and returns a
 //!   [`GenerativeFleetOutcome`] (pooled TPT distribution, token-weighted
 //!   agreement, fleet token throughput).
@@ -41,7 +52,7 @@ use crate::request::Request;
 use crate::traces::ArrivalTrace;
 use apparate_exec::{FeedbackSender, ProfileRecord, SampleSemantics};
 use apparate_sim::{Percentiles, SimDuration};
-use apparate_telemetry::{EventKind, Telemetry};
+use apparate_telemetry::Telemetry;
 
 /// How the front-end dispatcher assigns arrivals to replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +86,14 @@ impl std::fmt::Display for FleetDispatch {
             FleetDispatch::LeastLoaded => "least-loaded",
         })
     }
+}
+
+/// Number of worker threads a [`FleetRun`] uses by default: the machine's
+/// available parallelism, falling back to 1 when it cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// One replica's share of the shared arrival stream.
@@ -137,18 +156,215 @@ pub fn shard_arrivals(
         .collect()
 }
 
-/// Everything one replica needs to serve its shard: an exit policy, the
-/// batch-time estimator its batching decisions use, and (for adaptive
-/// policies) the uplink handle its controller listens on.
-pub struct ReplicaServer<'a> {
-    /// The replica's exit policy (each replica gets its own instance — fleet
-    /// replicas never share controller state).
-    pub policy: &'a mut dyn ExitPolicy,
-    /// Batch-time estimator for SLO-aware batching decisions.
-    pub estimate: &'a dyn Fn(u32) -> SimDuration,
-    /// Producer half of this replica's GPU → controller profiling link, if the
-    /// policy has a controller.
-    pub feedback: Option<FeedbackSender<ProfileRecord>>,
+/// Everything one classification replica needs to serve its shard: a name, an
+/// exit policy, the batch-time estimator its batching decisions use, and (for
+/// adaptive policies) the uplink handle its controller listens on.
+///
+/// Units are `Send` — a [`FleetRun`] may execute each on a worker thread —
+/// which is why the policy reference is `dyn ExitPolicy + Send` and the
+/// estimator `dyn Fn + Sync`.
+pub struct ReplicaUnit<'a> {
+    label: String,
+    policy: &'a mut (dyn ExitPolicy + Send),
+    estimate: &'a (dyn Fn(u32) -> SimDuration + Sync),
+    feedback: Option<FeedbackSender<ProfileRecord>>,
+}
+
+impl<'a> ReplicaUnit<'a> {
+    /// Name a replica unit over its exit policy and batch-time estimator.
+    /// Each replica gets its own policy instance — fleet replicas never share
+    /// controller state.
+    pub fn new(
+        label: impl Into<String>,
+        policy: &'a mut (dyn ExitPolicy + Send),
+        estimate: &'a (dyn Fn(u32) -> SimDuration + Sync),
+    ) -> ReplicaUnit<'a> {
+        ReplicaUnit {
+            label: label.into(),
+            policy,
+            estimate,
+            feedback: None,
+        }
+    }
+
+    /// Attach the producer half of this replica's GPU → controller profiling
+    /// link (adaptive policies with a controller).
+    pub fn with_feedback(mut self, feedback: FeedbackSender<ProfileRecord>) -> ReplicaUnit<'a> {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// The unit's name (reported per replica in [`FleetOutcome::labels`]).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Everything one generative replica needs to serve its shard: a name, a
+/// token policy, and (for adaptive policies) the uplink handle its controller
+/// listens on. `Send` for the same reason as [`ReplicaUnit`].
+pub struct TokenReplicaUnit<'a> {
+    label: String,
+    policy: &'a mut (dyn TokenPolicy + Send),
+    feedback: Option<FeedbackSender<ProfileRecord>>,
+}
+
+impl<'a> TokenReplicaUnit<'a> {
+    /// Name a generative replica unit over its token policy.
+    pub fn new(
+        label: impl Into<String>,
+        policy: &'a mut (dyn TokenPolicy + Send),
+    ) -> TokenReplicaUnit<'a> {
+        TokenReplicaUnit {
+            label: label.into(),
+            policy,
+            feedback: None,
+        }
+    }
+
+    /// Attach the producer half of this replica's GPU → controller profiling
+    /// link (adaptive policies with a controller).
+    pub fn with_feedback(
+        mut self,
+        feedback: FeedbackSender<ProfileRecord>,
+    ) -> TokenReplicaUnit<'a> {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// The unit's name (reported per replica in [`FleetOutcome::labels`]).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A configured fleet run: per-replica units plus the thread knob, built by
+/// [`ReplicaFleet::serve`] or [`GenerativeReplicaFleet::serve`] and executed
+/// by [`FleetRun::run`].
+///
+/// Replicas are independent simulations over disjoint shards, so the run
+/// executes them on up to `threads` scoped worker threads (replica `i` goes
+/// to worker `i % threads`) and joins into replica-index order. `threads == 1`
+/// is the plain sequential loop. Output is *identical for any thread count*:
+/// each replica's telemetry lands in its own [`Telemetry::for_replica`]
+/// buffer and per-replica outcomes are merged by replica index, never by
+/// completion order.
+pub struct FleetRun<U, F> {
+    replicas: usize,
+    shard_sizes: Vec<usize>,
+    telemetry: Telemetry,
+    threads: usize,
+    units: Vec<U>,
+    run_replica: F,
+}
+
+/// Label accessor shared by the unit types, so [`FleetRun`] can report names
+/// generically.
+pub trait FleetUnit {
+    /// The unit's name.
+    fn unit_label(&self) -> &str;
+}
+
+impl FleetUnit for ReplicaUnit<'_> {
+    fn unit_label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl FleetUnit for TokenReplicaUnit<'_> {
+    fn unit_label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<U, F> FleetRun<U, F> {
+    /// Set the number of worker threads (clamped to `1..=replicas`); `1`
+    /// means the sequential path. Defaults to [`available_threads`].
+    pub fn threads(mut self, threads: usize) -> FleetRun<U, F> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Add one replica's unit; replica index is assignment order.
+    pub fn unit(mut self, unit: U) -> FleetRun<U, F> {
+        self.units.push(unit);
+        self
+    }
+
+    /// Add units for several replicas, in replica order.
+    pub fn units(mut self, units: impl IntoIterator<Item = U>) -> FleetRun<U, F> {
+        self.units.extend(units);
+        self
+    }
+
+    /// Execute the run and aggregate per-replica outcomes in replica order.
+    ///
+    /// Panics if the number of added units differs from the fleet's replica
+    /// count, or if a replica's simulation panics (the panic is propagated).
+    pub fn run<O>(self) -> FleetOutcome<O>
+    where
+        U: FleetUnit + Send,
+        O: Send,
+        F: Fn(usize, U, Telemetry) -> O + Sync,
+    {
+        assert_eq!(
+            self.units.len(),
+            self.replicas,
+            "one unit per replica is required"
+        );
+        let threads = self.threads.clamp(1, self.replicas);
+        let labels: Vec<String> = self.units.iter().map(|u| u.unit_label().into()).collect();
+        let telemetry = self.telemetry;
+        let run_replica = &self.run_replica;
+        let per_replica: Vec<O> = if threads <= 1 {
+            // Sequential path: exactly the pre-parallel fleet behaviour.
+            self.units
+                .into_iter()
+                .enumerate()
+                .map(|(r, unit)| run_replica(r, unit, telemetry.for_replica(r as u32)))
+                .collect()
+        } else {
+            // Round-robin replicas over `threads` scoped workers. Results are
+            // re-ordered by replica index after the join, and telemetry goes
+            // through per-replica handles, so the merged outcome does not
+            // depend on scheduling.
+            let mut buckets: Vec<Vec<(usize, U)>> = (0..threads).map(|_| Vec::new()).collect();
+            for (r, unit) in self.units.into_iter().enumerate() {
+                buckets[r % threads].push((r, unit));
+            }
+            let mut indexed: Vec<(usize, O)> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        let telemetry = telemetry.clone();
+                        s.spawn(move |_| {
+                            bucket
+                                .into_iter()
+                                .map(|(r, unit)| {
+                                    (r, run_replica(r, unit, telemetry.for_replica(r as u32)))
+                                })
+                                .collect::<Vec<(usize, O)>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| {
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            indexed.sort_by_key(|&(r, _)| r);
+            indexed.into_iter().map(|(_, outcome)| outcome).collect()
+        };
+        FleetOutcome {
+            per_replica,
+            shard_sizes: self.shard_sizes,
+            labels,
+        }
+    }
 }
 
 /// A fleet of identical serving replicas behind one dispatcher.
@@ -178,7 +394,8 @@ impl ReplicaFleet {
     }
 
     /// Attach a telemetry sink. Dispatch decisions are traced per arrival and
-    /// every replica's serving events are tagged with its replica index.
+    /// every replica's serving events land in that replica's buffer (derived
+    /// via [`Telemetry::for_replica`], safe for parallel runs).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> ReplicaFleet {
         self.telemetry = telemetry;
         self
@@ -189,197 +406,321 @@ impl ReplicaFleet {
         shard_arrivals(trace, self.replicas, self.dispatch, service_estimate)
     }
 
-    /// Serve one shared trace: shard it, then run every replica's server over
-    /// its shard via [`ReplicaFleet::run_sharded`].
-    pub fn run(
-        &self,
-        trace: &ArrivalTrace,
-        samples: &[SampleSemantics],
-        service_estimate: SimDuration,
-        servers: Vec<ReplicaServer<'_>>,
-    ) -> FleetOutcome {
-        assert_eq!(
-            trace.len(),
-            samples.len(),
-            "one semantic sample per arrival is required"
-        );
-        let shards = self.shard(trace, service_estimate);
-        self.run_sharded(&shards, samples, servers)
-    }
-
-    /// Serve pre-computed shards (each replica is an independent
-    /// [`ServingSimulator`] with the fleet's serving config) and aggregate.
-    /// Sharding depends only on arrivals and dispatch, so callers comparing
-    /// several policy families over the *same* shards should shard once and
-    /// call this per family. `servers` must hold exactly one
-    /// [`ReplicaServer`] per replica, in replica order.
-    pub fn run_sharded(
-        &self,
-        shards: &[TraceShard],
-        samples: &[SampleSemantics],
-        servers: Vec<ReplicaServer<'_>>,
-    ) -> FleetOutcome {
-        assert_eq!(
-            servers.len(),
-            self.replicas,
-            "one server per replica is required"
-        );
+    /// Build a [`FleetRun`] over pre-computed shards and the shared semantic
+    /// samples (both borrowed read-only by every replica). Sharding depends
+    /// only on arrivals and dispatch, so callers comparing several policy
+    /// families over the *same* shards should shard once and serve per
+    /// family. Add one [`ReplicaUnit`] per replica, then call
+    /// [`FleetRun::run`].
+    ///
+    /// Each replica runs an independent [`ServingSimulator`] with the fleet's
+    /// serving config over its shard; when the fleet has a recording
+    /// telemetry sink, the replica traces a `dispatch` event per arrival
+    /// in-run (tagged with the fleet-global request id) and records through
+    /// its own per-replica handle.
+    pub fn serve<'a>(
+        &'a self,
+        shards: &'a [TraceShard],
+        samples: &'a [SampleSemantics],
+    ) -> FleetRun<
+        ReplicaUnit<'a>,
+        impl Fn(usize, ReplicaUnit<'a>, Telemetry) -> ServingOutcome + Sync + 'a,
+    > {
         assert_eq!(
             shards.len(),
             self.replicas,
             "one shard per replica is required"
         );
-        let traced = self.telemetry.is_enabled();
-        let mut per_replica = Vec::with_capacity(self.replicas);
-        let mut shard_sizes = Vec::with_capacity(self.replicas);
-        for (replica, (shard, server)) in shards.iter().zip(servers).enumerate() {
-            let shard_samples = shard.gather(samples);
-            shard_sizes.push(shard.trace.len());
-            let mut sim = ServingSimulator::new(self.serving.clone());
-            if traced {
-                // Replicas run sequentially, so re-tagging the shared recorder
-                // before each run labels every event with its replica index.
-                self.telemetry.set_replica(replica as u32);
-                for (&shared_index, &at) in shard.indices.iter().zip(shard.trace.times()) {
-                    self.telemetry.emit(at, || EventKind::Dispatch {
-                        request_id: shared_index as u64,
-                        replica: replica as u32,
-                    });
+        let dispatched: usize = shards.iter().map(|s| s.indices.len()).sum();
+        assert_eq!(
+            dispatched,
+            samples.len(),
+            "one semantic sample per dispatched arrival is required"
+        );
+        FleetRun {
+            replicas: self.replicas,
+            shard_sizes: shards.iter().map(|s| s.trace.len()).collect(),
+            telemetry: self.telemetry.clone(),
+            threads: available_threads(),
+            units: Vec::new(),
+            run_replica: move |replica: usize, unit: ReplicaUnit<'a>, telemetry: Telemetry| {
+                let shard = &shards[replica];
+                let shard_samples = shard.gather(samples);
+                let mut sim = ServingSimulator::new(self.serving.clone());
+                if telemetry.is_enabled() {
+                    let ids: Vec<u64> = shard.indices.iter().map(|&i| i as u64).collect();
+                    sim = sim.with_telemetry(telemetry).with_dispatch_ids(ids);
                 }
-                sim = sim.with_telemetry(self.telemetry.clone());
-            }
-            per_replica.push(sim.run_with_feedback(
-                &shard.trace,
-                &shard_samples,
-                server.policy,
-                server.estimate,
-                server.feedback.as_ref(),
-            ));
-        }
-        FleetOutcome {
-            per_replica,
-            shard_sizes,
+                sim.run_with_feedback(
+                    &shard.trace,
+                    &shard_samples,
+                    unit.policy,
+                    unit.estimate,
+                    unit.feedback.as_ref(),
+                )
+            },
         }
     }
 }
 
 /// Aggregate result of one fleet run: per-replica outcomes plus fleet-level
-/// views over the pooled records.
+/// views over the pooled records (see [`FleetOutcomeView`]).
 #[derive(Debug, Clone)]
-pub struct FleetOutcome {
-    /// One serving outcome per replica, in replica order.
-    pub per_replica: Vec<ServingOutcome>,
-    /// Requests dispatched to each replica (sums to the shared trace length).
+pub struct FleetOutcome<O> {
+    /// One outcome per replica, in replica order.
+    pub per_replica: Vec<O>,
+    /// Requests dispatched to each replica (sums to the shared stream
+    /// length).
     pub shard_sizes: Vec<usize>,
+    /// The unit labels, in replica order.
+    pub labels: Vec<String>,
 }
 
-impl FleetOutcome {
-    /// Total requests served across the fleet.
-    pub fn total_requests(&self) -> usize {
-        self.per_replica.iter().map(|o| o.records.len()).sum()
+/// Aggregate result of one generative fleet run (pooled samples are
+/// per-token TPT values; "units" are tokens).
+pub type GenerativeFleetOutcome = FleetOutcome<GenerativeOutcome>;
+
+/// What one replica's outcome must expose for fleet-level aggregation. The
+/// "unit" is the per-sample granularity of the domain: one served request for
+/// classification, one emitted token for generative decode.
+pub trait ReplicaOutcome {
+    /// Units produced by this replica.
+    fn unit_count(&self) -> usize;
+    /// Units whose released result matched the original model.
+    fn correct_units(&self) -> usize;
+    /// Units released through an early-exit ramp.
+    fn exited_units(&self) -> usize;
+    /// Units that violated their latency SLO.
+    fn violated_units(&self) -> usize;
+    /// Per-unit latency samples in milliseconds (response latency for
+    /// classification, time-per-token for generative).
+    fn unit_samples_ms(&self) -> Vec<f64>;
+    /// Wall-clock span of this replica's run.
+    fn replica_makespan(&self) -> SimDuration;
+    /// Batch sizes this replica launched, in launch order.
+    fn batch_sizes(&self) -> &[u32];
+}
+
+impl ReplicaOutcome for ServingOutcome {
+    fn unit_count(&self) -> usize {
+        self.records.len()
     }
 
+    fn correct_units(&self) -> usize {
+        self.records.iter().filter(|r| r.correct).count()
+    }
+
+    fn exited_units(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.exit_ramp.is_some())
+            .count()
+    }
+
+    fn violated_units(&self) -> usize {
+        self.records.iter().filter(|r| r.slo_violated).count()
+    }
+
+    fn unit_samples_ms(&self) -> Vec<f64> {
+        self.latencies_ms()
+    }
+
+    fn replica_makespan(&self) -> SimDuration {
+        self.makespan
+    }
+
+    fn batch_sizes(&self) -> &[u32] {
+        &self.batch_sizes
+    }
+}
+
+impl ReplicaOutcome for GenerativeOutcome {
+    fn unit_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    fn correct_units(&self) -> usize {
+        self.tokens.iter().filter(|t| t.correct).count()
+    }
+
+    fn exited_units(&self) -> usize {
+        self.tokens.iter().filter(|t| t.exit_ramp.is_some()).count()
+    }
+
+    fn violated_units(&self) -> usize {
+        self.tokens.iter().filter(|t| t.slo_violated).count()
+    }
+
+    fn unit_samples_ms(&self) -> Vec<f64> {
+        self.tpt_ms()
+    }
+
+    fn replica_makespan(&self) -> SimDuration {
+        self.makespan
+    }
+
+    fn batch_sizes(&self) -> &[u32] {
+        &self.batch_sizes
+    }
+}
+
+/// Fleet-level aggregation views, implemented once over any
+/// [`FleetOutcome<O>`] whose per-replica outcome is a [`ReplicaOutcome`] —
+/// this one generic surface replaces the former duplicated
+/// classification/generative impls.
+pub trait FleetOutcomeView {
+    /// Total units produced across the fleet (requests or tokens).
+    fn total_units(&self) -> usize;
     /// Smallest shard any replica received (starvation indicator).
-    pub fn min_shard(&self) -> usize {
+    fn min_shard(&self) -> usize;
+    /// Fleet makespan: replicas run in parallel, so the fleet finishes when
+    /// its slowest replica does.
+    fn makespan(&self) -> SimDuration;
+    /// Fleet throughput in units per second: total units over the fleet
+    /// makespan.
+    fn throughput(&self) -> f64;
+    /// Latency samples pooled across every replica, in milliseconds.
+    fn pooled_samples_ms(&self) -> Vec<f64>;
+    /// Unit-weighted accuracy across the fleet (1.0 when empty).
+    fn accuracy(&self) -> f64;
+    /// Unit-weighted early-exit rate across the fleet.
+    fn exit_rate(&self) -> f64;
+    /// Unit-weighted SLO violation rate across the fleet.
+    fn slo_violation_rate(&self) -> f64;
+    /// Batch-weighted mean batch size across the fleet.
+    fn mean_batch_size(&self) -> f64;
+    /// Summarise the fleet run over the pooled samples, the way the
+    /// single-replica [`LatencySummary`] constructors do.
+    fn summary(&self, policy: &str) -> LatencySummary;
+}
+
+impl<O: ReplicaOutcome> FleetOutcomeView for FleetOutcome<O> {
+    fn total_units(&self) -> usize {
+        self.per_replica.iter().map(|o| o.unit_count()).sum()
+    }
+
+    fn min_shard(&self) -> usize {
         self.shard_sizes.iter().copied().min().unwrap_or(0)
     }
 
-    /// Response latencies pooled across every replica, in milliseconds.
-    pub fn latencies_ms(&self) -> Vec<f64> {
+    fn makespan(&self) -> SimDuration {
         self.per_replica
             .iter()
-            .flat_map(|o| o.latencies_ms())
-            .collect()
-    }
-
-    /// Fleet makespan: replicas run in parallel, so the fleet finishes when
-    /// its slowest replica does.
-    pub fn makespan(&self) -> SimDuration {
-        self.per_replica
-            .iter()
-            .map(|o| o.makespan)
+            .map(|o| o.replica_makespan())
             .max()
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Fleet throughput in requests per second: total completions over the
-    /// fleet makespan.
-    pub fn throughput_rps(&self) -> f64 {
+    fn throughput(&self) -> f64 {
         let secs = self.makespan().as_secs_f64();
         if secs <= 0.0 {
             return 0.0;
         }
-        self.total_requests() as f64 / secs
+        self.total_units() as f64 / secs
     }
 
-    /// Request-weighted accuracy across the fleet.
-    pub fn accuracy(&self) -> f64 {
-        let total = self.total_requests();
+    fn pooled_samples_ms(&self) -> Vec<f64> {
+        self.per_replica
+            .iter()
+            .flat_map(|o| o.unit_samples_ms())
+            .collect()
+    }
+
+    fn accuracy(&self) -> f64 {
+        let total = self.total_units();
         if total == 0 {
             return 1.0;
         }
-        let correct: usize = self
-            .per_replica
-            .iter()
-            .map(|o| o.records.iter().filter(|r| r.correct).count())
-            .sum();
+        let correct: usize = self.per_replica.iter().map(|o| o.correct_units()).sum();
         correct as f64 / total as f64
     }
 
-    /// Request-weighted early-exit rate across the fleet.
-    pub fn exit_rate(&self) -> f64 {
-        let total = self.total_requests();
+    fn exit_rate(&self) -> f64 {
+        let total = self.total_units();
         if total == 0 {
             return 0.0;
         }
-        let exited: usize = self
-            .per_replica
-            .iter()
-            .map(|o| o.records.iter().filter(|r| r.exit_ramp.is_some()).count())
-            .sum();
+        let exited: usize = self.per_replica.iter().map(|o| o.exited_units()).sum();
         exited as f64 / total as f64
     }
 
-    /// Request-weighted SLO violation rate across the fleet.
-    pub fn slo_violation_rate(&self) -> f64 {
-        let total = self.total_requests();
+    fn slo_violation_rate(&self) -> f64 {
+        let total = self.total_units();
         if total == 0 {
             return 0.0;
         }
-        let violated: usize = self
-            .per_replica
-            .iter()
-            .map(|o| o.records.iter().filter(|r| r.slo_violated).count())
-            .sum();
+        let violated: usize = self.per_replica.iter().map(|o| o.violated_units()).sum();
         violated as f64 / total as f64
     }
 
-    /// Batch-weighted mean batch size across the fleet.
-    pub fn mean_batch_size(&self) -> f64 {
-        let batches: usize = self.per_replica.iter().map(|o| o.batch_sizes.len()).sum();
+    fn mean_batch_size(&self) -> f64 {
+        let batches: usize = self.per_replica.iter().map(|o| o.batch_sizes().len()).sum();
         if batches == 0 {
             return 0.0;
         }
         let items: u64 = self
             .per_replica
             .iter()
-            .flat_map(|o| o.batch_sizes.iter().map(|&b| b as u64))
+            .flat_map(|o| o.batch_sizes().iter().map(|&b| b as u64))
             .sum();
         items as f64 / batches as f64
     }
 
-    /// Summarise the fleet run the way [`LatencySummary::from_outcome`] does
-    /// for a single replica, over the pooled latencies.
-    pub fn summary(&self, policy: impl Into<String>) -> LatencySummary {
+    fn summary(&self, policy: &str) -> LatencySummary {
         LatencySummary {
-            policy: policy.into(),
-            latency_ms: Percentiles::from_samples(&self.latencies_ms()),
+            policy: policy.to_string(),
+            latency_ms: Percentiles::from_samples(&self.pooled_samples_ms()),
             accuracy: self.accuracy(),
-            throughput: self.throughput_rps(),
+            throughput: self.throughput(),
             mean_batch_size: self.mean_batch_size(),
             slo_violation_rate: self.slo_violation_rate(),
             exit_rate: self.exit_rate(),
         }
+    }
+}
+
+impl FleetOutcome<ServingOutcome> {
+    /// Total requests served across the fleet.
+    pub fn total_requests(&self) -> usize {
+        self.total_units()
+    }
+
+    /// Response latencies pooled across every replica, in milliseconds.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.pooled_samples_ms()
+    }
+
+    /// Fleet throughput in requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        self.throughput()
+    }
+}
+
+impl FleetOutcome<GenerativeOutcome> {
+    /// Total tokens emitted across the fleet.
+    pub fn total_tokens(&self) -> usize {
+        self.total_units()
+    }
+
+    /// Total completed requests across the fleet.
+    pub fn completed_requests(&self) -> usize {
+        self.per_replica.iter().map(|o| o.completed_requests).sum()
+    }
+
+    /// Time-per-token values pooled across every replica, in milliseconds.
+    pub fn tpt_ms(&self) -> Vec<f64> {
+        self.pooled_samples_ms()
+    }
+
+    /// Fleet generation throughput in tokens per second.
+    pub fn tokens_per_second(&self) -> f64 {
+        self.throughput()
+    }
+
+    /// Token-weighted agreement rate with the original model across the
+    /// fleet.
+    pub fn sequence_accuracy(&self) -> f64 {
+        self.accuracy()
     }
 }
 
@@ -433,17 +774,6 @@ pub fn shard_requests(
     shards
 }
 
-/// Everything one generative replica needs to serve its shard: a token policy
-/// and (for adaptive policies) the uplink handle its controller listens on.
-pub struct TokenReplicaServer<'a> {
-    /// The replica's token policy (each replica gets its own instance — fleet
-    /// replicas never share controller state).
-    pub policy: &'a mut dyn TokenPolicy,
-    /// Producer half of this replica's GPU → controller profiling link, if the
-    /// policy has a controller.
-    pub feedback: Option<FeedbackSender<ProfileRecord>>,
-}
-
 /// A fleet of identical continuous-batching replicas behind one dispatcher.
 #[derive(Debug, Clone)]
 pub struct GenerativeReplicaFleet {
@@ -475,7 +805,8 @@ impl GenerativeReplicaFleet {
     }
 
     /// Attach a telemetry sink. Dispatch decisions are traced per request and
-    /// every replica's decode events are tagged with its replica index.
+    /// every replica's decode events land in that replica's buffer (derived
+    /// via [`Telemetry::for_replica`], safe for parallel runs).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> GenerativeReplicaFleet {
         self.telemetry = telemetry;
         self
@@ -490,194 +821,45 @@ impl GenerativeReplicaFleet {
         shard_requests(requests, self.replicas, self.dispatch, per_token_estimate)
     }
 
-    /// Serve one shared request stream: shard it, then run every replica's
-    /// server over its shard via [`GenerativeReplicaFleet::run_sharded`].
-    pub fn run(
-        &self,
-        requests: &[Request],
-        semantics: &dyn TokenSemantics,
-        per_token_estimate: SimDuration,
-        servers: Vec<TokenReplicaServer<'_>>,
-    ) -> GenerativeFleetOutcome {
-        let shards = self.shard(requests, per_token_estimate);
-        self.run_sharded(&shards, semantics, servers)
-    }
-
-    /// Serve pre-computed shards (each replica is an independent
-    /// [`GenerativeSimulator`] with the fleet's batching config) and
-    /// aggregate. Sharding depends only on arrivals, output lengths and
-    /// dispatch, so callers comparing several policy families over the *same*
-    /// shards should shard once and call this per family. Token semantics are
-    /// keyed by request id, so the shared provider serves every replica
-    /// unchanged.
-    pub fn run_sharded(
-        &self,
-        shards: &[RequestShard],
-        semantics: &dyn TokenSemantics,
-        servers: Vec<TokenReplicaServer<'_>>,
-    ) -> GenerativeFleetOutcome {
-        assert_eq!(
-            servers.len(),
-            self.replicas,
-            "one server per replica is required"
-        );
+    /// Build a [`FleetRun`] over pre-computed shards and the shared token
+    /// semantics (borrowed read-only by every replica; semantics are keyed by
+    /// request id, so one provider serves every replica unchanged). Sharding
+    /// depends only on arrivals, output lengths and dispatch, so callers
+    /// comparing several policy families over the *same* shards should shard
+    /// once and serve per family. Add one [`TokenReplicaUnit`] per replica,
+    /// then call [`FleetRun::run`].
+    pub fn serve<'a>(
+        &'a self,
+        shards: &'a [RequestShard],
+        semantics: &'a (dyn TokenSemantics + Sync),
+    ) -> FleetRun<
+        TokenReplicaUnit<'a>,
+        impl Fn(usize, TokenReplicaUnit<'a>, Telemetry) -> GenerativeOutcome + Sync + 'a,
+    > {
         assert_eq!(
             shards.len(),
             self.replicas,
             "one shard per replica is required"
         );
-        let traced = self.telemetry.is_enabled();
-        let mut per_replica = Vec::with_capacity(self.replicas);
-        let mut shard_sizes = Vec::with_capacity(self.replicas);
-        for (replica, (shard, server)) in shards.iter().zip(servers).enumerate() {
-            shard_sizes.push(shard.requests.len());
-            let mut sim = GenerativeSimulator::new(self.batching);
-            if traced {
-                // Replicas run sequentially, so re-tagging the shared recorder
-                // before each run labels every event with its replica index.
-                self.telemetry.set_replica(replica as u32);
-                for request in &shard.requests {
-                    self.telemetry
-                        .emit(request.arrival, || EventKind::Dispatch {
-                            request_id: request.id,
-                            replica: replica as u32,
-                        });
+        FleetRun {
+            replicas: self.replicas,
+            shard_sizes: shards.iter().map(|s| s.requests.len()).collect(),
+            telemetry: self.telemetry.clone(),
+            threads: available_threads(),
+            units: Vec::new(),
+            run_replica: move |replica: usize, unit: TokenReplicaUnit<'a>, telemetry: Telemetry| {
+                let shard = &shards[replica];
+                let mut sim = GenerativeSimulator::new(self.batching);
+                if telemetry.is_enabled() {
+                    sim = sim.with_telemetry(telemetry).with_dispatch_events();
                 }
-                sim = sim.with_telemetry(self.telemetry.clone());
-            }
-            per_replica.push(sim.run_with_feedback(
-                &shard.requests,
-                semantics,
-                server.policy,
-                server.feedback.as_ref(),
-            ));
-        }
-        GenerativeFleetOutcome {
-            per_replica,
-            shard_sizes,
-        }
-    }
-}
-
-/// Aggregate result of one generative fleet run: per-replica outcomes plus
-/// fleet-level views over the pooled token records.
-#[derive(Debug, Clone)]
-pub struct GenerativeFleetOutcome {
-    /// One generative outcome per replica, in replica order.
-    pub per_replica: Vec<GenerativeOutcome>,
-    /// Requests dispatched to each replica (sums to the shared stream length).
-    pub shard_sizes: Vec<usize>,
-}
-
-impl GenerativeFleetOutcome {
-    /// Total tokens emitted across the fleet.
-    pub fn total_tokens(&self) -> usize {
-        self.per_replica.iter().map(|o| o.tokens.len()).sum()
-    }
-
-    /// Total completed requests across the fleet.
-    pub fn completed_requests(&self) -> usize {
-        self.per_replica.iter().map(|o| o.completed_requests).sum()
-    }
-
-    /// Smallest shard any replica received (starvation indicator).
-    pub fn min_shard(&self) -> usize {
-        self.shard_sizes.iter().copied().min().unwrap_or(0)
-    }
-
-    /// Time-per-token values pooled across every replica, in milliseconds.
-    pub fn tpt_ms(&self) -> Vec<f64> {
-        self.per_replica.iter().flat_map(|o| o.tpt_ms()).collect()
-    }
-
-    /// Fleet makespan: replicas decode in parallel, so the fleet finishes
-    /// when its slowest replica does.
-    pub fn makespan(&self) -> SimDuration {
-        self.per_replica
-            .iter()
-            .map(|o| o.makespan)
-            .max()
-            .unwrap_or(SimDuration::ZERO)
-    }
-
-    /// Fleet generation throughput in tokens per second: total tokens over
-    /// the fleet makespan.
-    pub fn tokens_per_second(&self) -> f64 {
-        let secs = self.makespan().as_secs_f64();
-        if secs <= 0.0 {
-            return 0.0;
-        }
-        self.total_tokens() as f64 / secs
-    }
-
-    /// Token-weighted agreement rate with the original model across the fleet.
-    pub fn sequence_accuracy(&self) -> f64 {
-        let total = self.total_tokens();
-        if total == 0 {
-            return 1.0;
-        }
-        let correct: usize = self
-            .per_replica
-            .iter()
-            .map(|o| o.tokens.iter().filter(|t| t.correct).count())
-            .sum();
-        correct as f64 / total as f64
-    }
-
-    /// Token-weighted early-exit rate across the fleet.
-    pub fn exit_rate(&self) -> f64 {
-        let total = self.total_tokens();
-        if total == 0 {
-            return 0.0;
-        }
-        let exited: usize = self
-            .per_replica
-            .iter()
-            .map(|o| o.tokens.iter().filter(|t| t.exit_ramp.is_some()).count())
-            .sum();
-        exited as f64 / total as f64
-    }
-
-    /// Token-weighted TBT-SLO violation rate across the fleet. Zero whenever
-    /// the batching config carries no [`ContinuousBatchingConfig::tbt_slo`].
-    pub fn slo_violation_rate(&self) -> f64 {
-        let total = self.total_tokens();
-        if total == 0 {
-            return 0.0;
-        }
-        let violated: usize = self
-            .per_replica
-            .iter()
-            .map(|o| o.tokens.iter().filter(|t| t.slo_violated).count())
-            .sum();
-        violated as f64 / total as f64
-    }
-
-    /// Step-weighted mean decode-batch size across the fleet.
-    pub fn mean_batch_size(&self) -> f64 {
-        let steps: usize = self.per_replica.iter().map(|o| o.batch_sizes.len()).sum();
-        if steps == 0 {
-            return 0.0;
-        }
-        let items: u64 = self
-            .per_replica
-            .iter()
-            .flat_map(|o| o.batch_sizes.iter().map(|&b| b as u64))
-            .sum();
-        items as f64 / steps as f64
-    }
-
-    /// Summarise the fleet run over the pooled TPT samples, the way
-    /// [`LatencySummary::from_generative`] does for a single replica.
-    pub fn summary(&self, policy: impl Into<String>) -> LatencySummary {
-        LatencySummary {
-            policy: policy.into(),
-            latency_ms: Percentiles::from_samples(&self.tpt_ms()),
-            accuracy: self.sequence_accuracy(),
-            throughput: self.tokens_per_second(),
-            mean_batch_size: self.mean_batch_size(),
-            slo_violation_rate: self.slo_violation_rate(),
-            exit_rate: self.exit_rate(),
+                sim.run_with_feedback(
+                    &shard.requests,
+                    semantics,
+                    unit.policy,
+                    unit.feedback.as_ref(),
+                )
+            },
         }
     }
 }
@@ -762,6 +944,31 @@ mod tests {
         }
     }
 
+    /// Run a vanilla classification fleet over the given trace with the given
+    /// thread count.
+    fn vanilla_fleet_run(
+        fleet: &ReplicaFleet,
+        trace: &ArrivalTrace,
+        shared: &[SampleSemantics],
+        threads: usize,
+    ) -> FleetOutcome<ServingOutcome> {
+        let shards = fleet.shard(trace, exec_time(1));
+        let mut policies: Vec<_> = (0..fleet.replicas)
+            .map(|_| VanillaPolicy::new(exec_time))
+            .collect();
+        let estimate = exec_time;
+        let units: Vec<ReplicaUnit<'_>> = policies
+            .iter_mut()
+            .enumerate()
+            .map(|(r, p)| ReplicaUnit::new(format!("vanilla-{r}"), p, &estimate))
+            .collect();
+        fleet
+            .serve(&shards, shared)
+            .units(units)
+            .threads(threads)
+            .run()
+    }
+
     #[test]
     fn fleet_run_serves_everything_and_aggregates() {
         let n = 200;
@@ -775,25 +982,111 @@ mod tests {
                 slo: None,
             },
         );
-        let mut policies: Vec<_> = (0..4).map(|_| VanillaPolicy::new(exec_time)).collect();
-        let estimate = exec_time;
-        let servers: Vec<ReplicaServer<'_>> = policies
-            .iter_mut()
-            .map(|p| ReplicaServer {
-                policy: p,
-                estimate: &estimate,
-                feedback: None,
-            })
-            .collect();
-        let out = fleet.run(&trace, &shared, exec_time(1), servers);
+        let out = vanilla_fleet_run(&fleet, &trace, &shared, 1);
         assert_eq!(out.total_requests(), n);
         assert_eq!(out.shard_sizes.iter().sum::<usize>(), n);
         assert!(out.min_shard() > 0);
         assert!(out.accuracy() >= 1.0 - 1e-12);
         assert_eq!(out.exit_rate(), 0.0);
         assert!(out.throughput_rps() > 0.0);
+        assert_eq!(
+            out.labels,
+            vec!["vanilla-0", "vanilla-1", "vanilla-2", "vanilla-3"]
+        );
         let summary = out.summary("vanilla");
         assert_eq!(summary.latency_ms.count, n);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_fleet_outcome() {
+        // The thread-count sweep invariant: any `threads` value produces the
+        // same merged outcome as the sequential path, record for record.
+        let n = 240;
+        let trace = ArrivalTrace::maf_like(n, 90.0, 13);
+        let shared = samples(n);
+        let fleet = ReplicaFleet::new(
+            4,
+            FleetDispatch::LeastLoaded,
+            ServingConfig {
+                policy: BatchingPolicy::Immediate,
+                slo: None,
+            },
+        );
+        let sequential = vanilla_fleet_run(&fleet, &trace, &shared, 1);
+        for threads in [2, 3, 4, 8] {
+            let parallel = vanilla_fleet_run(&fleet, &trace, &shared, threads);
+            assert_eq!(sequential.shard_sizes, parallel.shard_sizes);
+            assert_eq!(sequential.labels, parallel.labels);
+            assert_eq!(
+                sequential.latencies_ms(),
+                parallel.latencies_ms(),
+                "pooled latencies diverged at {threads} threads"
+            );
+            for (s, p) in sequential.per_replica.iter().zip(&parallel.per_replica) {
+                assert_eq!(
+                    s.records, p.records,
+                    "records diverged at {threads} threads"
+                );
+                assert_eq!(s.batch_sizes, p.batch_sizes);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_traced_snapshot() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        let n = 160;
+        let trace = ArrivalTrace::poisson(n, 120.0, 5);
+        let shared = samples(n);
+        let run = |threads: usize| {
+            let telemetry = Telemetry::recording(TelemetryConfig::default());
+            let fleet = ReplicaFleet::new(
+                4,
+                FleetDispatch::RoundRobin,
+                ServingConfig {
+                    policy: BatchingPolicy::Immediate,
+                    slo: None,
+                },
+            )
+            .with_telemetry(telemetry.clone());
+            let out = vanilla_fleet_run(&fleet, &trace, &shared, threads);
+            (out, telemetry.snapshot().expect("recording"))
+        };
+        let (out1, snap1) = run(1);
+        for threads in [2, 8] {
+            let (outn, snapn) = run(threads);
+            assert_eq!(out1.latencies_ms(), outn.latencies_ms());
+            assert_eq!(
+                snap1.events, snapn.events,
+                "trace diverged at {threads} threads"
+            );
+            assert_eq!(snap1.series, snapn.series);
+            assert_eq!(snap1.counters, snapn.counters);
+            assert_eq!(snap1.histograms, snapn.histograms);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one unit per replica")]
+    fn fleet_run_rejects_a_unit_count_mismatch() {
+        let n = 20;
+        let trace = ArrivalTrace::fixed_rate(n, 10.0);
+        let shared = samples(n);
+        let fleet = ReplicaFleet::new(
+            2,
+            FleetDispatch::RoundRobin,
+            ServingConfig {
+                policy: BatchingPolicy::Immediate,
+                slo: None,
+            },
+        );
+        let shards = fleet.shard(&trace, exec_time(1));
+        let mut policy = VanillaPolicy::new(exec_time);
+        let estimate = exec_time;
+        let _ = fleet
+            .serve(&shards, &shared)
+            .unit(ReplicaUnit::new("only-one", &mut policy, &estimate))
+            .run();
     }
 
     use crate::generative::VanillaTokenPolicy;
@@ -824,6 +1117,29 @@ mod tests {
 
     fn decode_time(b: u32) -> SimDuration {
         SimDuration::from_micros(10_000 + 1_500 * b as u64)
+    }
+
+    /// Run a vanilla generative fleet over the given requests with the given
+    /// thread count.
+    fn vanilla_generative_run(
+        fleet: &GenerativeReplicaFleet,
+        requests: &[Request],
+        threads: usize,
+    ) -> GenerativeFleetOutcome {
+        let shards = fleet.shard(requests, decode_time(1));
+        let mut policies: Vec<_> = (0..fleet.replicas)
+            .map(|_| VanillaTokenPolicy::new(decode_time))
+            .collect();
+        let units: Vec<TokenReplicaUnit<'_>> = policies
+            .iter_mut()
+            .enumerate()
+            .map(|(r, p)| TokenReplicaUnit::new(format!("vanilla-{r}"), p))
+            .collect();
+        fleet
+            .serve(&shards, &UniformTokens)
+            .units(units)
+            .threads(threads)
+            .run()
     }
 
     #[test]
@@ -881,20 +1197,7 @@ mod tests {
                 tbt_slo: None,
             },
         );
-        let run = || {
-            let mut policies: Vec<_> = (0..4)
-                .map(|_| VanillaTokenPolicy::new(decode_time))
-                .collect();
-            let servers: Vec<TokenReplicaServer<'_>> = policies
-                .iter_mut()
-                .map(|p| TokenReplicaServer {
-                    policy: p,
-                    feedback: None,
-                })
-                .collect();
-            fleet.run(&requests, &UniformTokens, decode_time(1), servers)
-        };
-        let out = run();
+        let out = vanilla_generative_run(&fleet, &requests, 1);
         assert_eq!(out.total_tokens(), 24 * 15);
         assert_eq!(out.completed_requests(), 24);
         assert_eq!(out.shard_sizes.iter().sum::<usize>(), 24);
@@ -908,10 +1211,17 @@ mod tests {
         // replica's, not the sum.
         let slowest = out.per_replica.iter().map(|o| o.makespan).max().unwrap();
         assert_eq!(out.makespan(), slowest);
-        // Deterministic: same stream, same shards, same pooled outcome.
-        let again = run();
-        assert_eq!(out.shard_sizes, again.shard_sizes);
-        assert_eq!(out.tpt_ms(), again.tpt_ms());
+        // Deterministic: same stream, same shards, same pooled outcome — and
+        // the thread count does not enter the outcome at all.
+        for threads in [1, 2, 8] {
+            let again = vanilla_generative_run(&fleet, &requests, threads);
+            assert_eq!(out.shard_sizes, again.shard_sizes);
+            assert_eq!(
+                out.tpt_ms(),
+                again.tpt_ms(),
+                "diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]
@@ -931,17 +1241,7 @@ mod tests {
                     tbt_slo: None,
                 },
             );
-            let mut policies: Vec<_> = (0..replicas)
-                .map(|_| VanillaTokenPolicy::new(decode_time))
-                .collect();
-            let servers: Vec<TokenReplicaServer<'_>> = policies
-                .iter_mut()
-                .map(|p| TokenReplicaServer {
-                    policy: p,
-                    feedback: None,
-                })
-                .collect();
-            fleet.run(&requests, &UniformTokens, decode_time(1), servers)
+            vanilla_generative_run(&fleet, &requests, 1)
         };
         let single = run(1);
         let quad = run(4);
@@ -975,17 +1275,7 @@ mod tests {
             },
         )
         .with_telemetry(telemetry.clone());
-        let mut policies: Vec<_> = (0..3).map(|_| VanillaPolicy::new(exec_time)).collect();
-        let estimate = exec_time;
-        let servers: Vec<ReplicaServer<'_>> = policies
-            .iter_mut()
-            .map(|p| ReplicaServer {
-                policy: p,
-                estimate: &estimate,
-                feedback: None,
-            })
-            .collect();
-        let out = fleet.run(&trace, &shared, exec_time(1), servers);
+        let out = vanilla_fleet_run(&fleet, &trace, &shared, 2);
         assert_eq!(out.total_requests(), n);
         let snap = telemetry.snapshot().expect("recording");
         // One dispatch event per arrival, and the per-event replica tag agrees
@@ -1024,6 +1314,36 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_events_interleave_in_sim_time_order() {
+        use apparate_telemetry::{Telemetry, TelemetryConfig};
+        // Dispatch events are emitted inside the run now, so each one must
+        // sit at its arrival's position in the time-sorted trace rather than
+        // all batches trailing every dispatch.
+        let n = 90;
+        let trace = ArrivalTrace::fixed_rate(n, 60.0);
+        let shared = samples(n);
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        let fleet = ReplicaFleet::new(
+            3,
+            FleetDispatch::RoundRobin,
+            ServingConfig {
+                policy: BatchingPolicy::Immediate,
+                slo: None,
+            },
+        )
+        .with_telemetry(telemetry.clone());
+        let _ = vanilla_fleet_run(&fleet, &trace, &shared, 1);
+        let snap = telemetry.snapshot().expect("recording");
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.kind_name()).collect();
+        let last_dispatch = kinds.iter().rposition(|&k| k == "dispatch").unwrap();
+        let first_batch = kinds.iter().position(|&k| k == "batch-formed").unwrap();
+        assert!(
+            first_batch < last_dispatch,
+            "batch events must interleave with dispatches, not trail them all"
+        );
+    }
+
+    #[test]
     fn traced_generative_fleet_pools_tbt_violations() {
         use apparate_telemetry::{Telemetry, TelemetryConfig};
         let requests = gen_requests(24, 15, 20.0);
@@ -1038,20 +1358,10 @@ mod tests {
             },
         )
         .with_telemetry(telemetry.clone());
-        let mut policies: Vec<_> = (0..2)
-            .map(|_| VanillaTokenPolicy::new(decode_time))
-            .collect();
-        let servers: Vec<TokenReplicaServer<'_>> = policies
-            .iter_mut()
-            .map(|p| TokenReplicaServer {
-                policy: p,
-                feedback: None,
-            })
-            .collect();
-        let out = fleet.run(&requests, &UniformTokens, decode_time(1), servers);
+        let out = vanilla_generative_run(&fleet, &requests, 2);
         assert_eq!(out.total_tokens(), 24 * 15);
-        // The pooled fleet rate now reflects per-token SLO outcomes instead of
-        // the old hardcoded zero, and matches the summary row.
+        // The pooled fleet rate reflects per-token SLO outcomes and matches
+        // the summary row.
         let rate = out.slo_violation_rate();
         assert!(rate > 0.0, "strict TBT SLO must be violated under batching");
         assert_eq!(out.summary("apparate").slo_violation_rate, rate);
@@ -1080,19 +1390,7 @@ mod tests {
         };
         let run = |replicas: usize| {
             let fleet = ReplicaFleet::new(replicas, FleetDispatch::LeastLoaded, config.clone());
-            let mut policies: Vec<_> = (0..replicas)
-                .map(|_| VanillaPolicy::new(exec_time))
-                .collect();
-            let estimate = exec_time;
-            let servers: Vec<ReplicaServer<'_>> = policies
-                .iter_mut()
-                .map(|p| ReplicaServer {
-                    policy: p,
-                    estimate: &estimate,
-                    feedback: None,
-                })
-                .collect();
-            let out = fleet.run(&trace, &shared, exec_time(1), servers);
+            let out = vanilla_fleet_run(&fleet, &trace, &shared, 1);
             Percentiles::from_samples(&out.latencies_ms()).p50
         };
         let single = run(1);

@@ -230,6 +230,7 @@ pub trait TokenSemantics {
 pub struct GenerativeSimulator {
     config: ContinuousBatchingConfig,
     telemetry: Telemetry,
+    dispatch_events: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -246,6 +247,7 @@ impl GenerativeSimulator {
         GenerativeSimulator {
             config,
             telemetry: Telemetry::disabled(),
+            dispatch_events: false,
         }
     }
 
@@ -254,6 +256,16 @@ impl GenerativeSimulator {
     /// `slo-violation` events. The default is the zero-cost disabled handle.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> GenerativeSimulator {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Trace a `dispatch` event per request, stamped at its arrival time and
+    /// emitted when the sequence is admitted into the continuous batch. Fleet
+    /// runners enable this so dispatch events are produced *inside* the run,
+    /// interleaved with decode events in sim-time order (requests carry their
+    /// fleet-global ids already). No-op without a recording telemetry handle.
+    pub fn with_dispatch_events(mut self) -> GenerativeSimulator {
+        self.dispatch_events = true;
         self
     }
 
@@ -298,6 +310,14 @@ impl GenerativeSimulator {
                 match pending.front() {
                     Some(r) if r.arrival <= now => {
                         let r = pending.pop_front().expect("peeked");
+                        if self.dispatch_events && self.telemetry.is_enabled() {
+                            let request_id = r.id;
+                            let replica = self.telemetry.replica();
+                            self.telemetry.emit(r.arrival, || EventKind::Dispatch {
+                                request_id,
+                                replica,
+                            });
+                        }
                         active.push(ActiveSequence {
                             request_id: r.id,
                             next_token: 0,

@@ -19,7 +19,8 @@
 //! * [`metrics`] — latency/accuracy/throughput summaries and win computations.
 //!
 //! Entry points: [`ServingSimulator::run`] (single replica),
-//! [`ReplicaFleet::run`] (fleet), [`GenerativeSimulator::run`] (decode loop).
+//! [`ReplicaFleet::serve`] (fleet, wall-clock parallel via [`FleetRun`]),
+//! [`GenerativeSimulator::run`] (decode loop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +35,9 @@ pub mod traces;
 
 pub use batching::{BatchDecision, BatchingPolicy};
 pub use fleet::{
-    shard_arrivals, shard_requests, FleetDispatch, FleetOutcome, GenerativeFleetOutcome,
-    GenerativeReplicaFleet, ReplicaFleet, ReplicaServer, RequestShard, TokenReplicaServer,
-    TraceShard,
+    available_threads, shard_arrivals, shard_requests, FleetDispatch, FleetOutcome,
+    FleetOutcomeView, FleetRun, FleetUnit, GenerativeFleetOutcome, GenerativeReplicaFleet,
+    ReplicaFleet, ReplicaOutcome, ReplicaUnit, RequestShard, TokenReplicaUnit, TraceShard,
 };
 pub use generative::{
     ContinuousBatchingConfig, GenerativeOutcome, GenerativeSimulator, StepOutcome, TokenOutcome,

@@ -250,6 +250,7 @@ enum Event {
 pub struct ServingSimulator {
     config: ServingConfig,
     telemetry: Telemetry,
+    dispatch_ids: Option<Vec<u64>>,
 }
 
 impl ServingSimulator {
@@ -258,6 +259,7 @@ impl ServingSimulator {
         ServingSimulator {
             config,
             telemetry: Telemetry::disabled(),
+            dispatch_ids: None,
         }
     }
 
@@ -266,6 +268,16 @@ impl ServingSimulator {
     /// exit-rate series. The default is the zero-cost disabled handle.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> ServingSimulator {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Trace a `dispatch` event per arrival, tagged with the given shared
+    /// (fleet-global) request ids — one per trace arrival, in trace order.
+    /// Fleet runners use this so dispatch events are emitted *inside* the run,
+    /// at the arrival's sim time, interleaved with the replica's other events
+    /// in sim-time order. No-op without a recording telemetry handle.
+    pub fn with_dispatch_ids(mut self, ids: Vec<u64>) -> ServingSimulator {
+        self.dispatch_ids = Some(ids);
         self
     }
 
@@ -299,6 +311,13 @@ impl ServingSimulator {
             samples.len(),
             "one semantic sample per arrival is required"
         );
+        if let Some(ids) = &self.dispatch_ids {
+            assert_eq!(
+                ids.len(),
+                trace.len(),
+                "one dispatch id per arrival is required"
+            );
+        }
         let requests: Vec<Request> = trace
             .times()
             .iter()
@@ -330,6 +349,14 @@ impl ServingSimulator {
                 Event::Arrival(i) => {
                     queue.push_back(requests[i].clone());
                     if traced {
+                        if let Some(ids) = &self.dispatch_ids {
+                            let request_id = ids[i];
+                            let replica = self.telemetry.replica();
+                            self.telemetry.emit(now, || EventKind::Dispatch {
+                                request_id,
+                                replica,
+                            });
+                        }
                         self.telemetry.gauge(now, "queue_depth", queue.len() as f64);
                     }
                 }

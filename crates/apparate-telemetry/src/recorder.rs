@@ -108,7 +108,7 @@ impl Hist {
     }
 }
 
-/// The state behind a recording handle.
+/// The state behind one replica's recording handle.
 #[derive(Debug)]
 pub(crate) struct Recorder {
     config: TelemetryConfig,
@@ -120,10 +120,10 @@ pub(crate) struct Recorder {
 }
 
 impl Recorder {
-    fn new(config: TelemetryConfig) -> Self {
+    fn new(config: TelemetryConfig, replica: u32) -> Self {
         Recorder {
             config,
-            replica: 0,
+            replica,
             ring: EventRing::new(config.event_capacity),
             series: BTreeMap::new(),
             counters: BTreeMap::new(),
@@ -296,36 +296,97 @@ impl TelemetrySnapshot {
     }
 }
 
+/// Shared root of one recording session: hands out (and retains) one
+/// [`Recorder`] per replica, so handles derived via
+/// [`Telemetry::for_replica`] write into disjoint per-replica buffers that
+/// parallel replica threads never contend on — and that merge back into one
+/// deterministic snapshot keyed by replica index.
+#[derive(Debug)]
+struct Registry {
+    config: TelemetryConfig,
+    replicas: Mutex<BTreeMap<u32, Arc<Mutex<Recorder>>>>,
+}
+
+impl Registry {
+    fn recorder(self: &Arc<Self>, replica: u32) -> Arc<Mutex<Recorder>> {
+        self.replicas
+            .lock()
+            .entry(replica)
+            .or_insert_with(|| Arc::new(Mutex::new(Recorder::new(self.config, replica))))
+            .clone()
+    }
+}
+
 /// The cheap, cloneable telemetry handle threaded through the stack.
 ///
 /// [`Telemetry::disabled`] (also the `Default`) is the zero-cost no-op sink:
 /// it holds no recorder, so every instrumentation call reduces to an `Option`
 /// discriminant check and the deferred event constructor never runs.
-/// [`Telemetry::recording`] shares one recorder between all clones, which is
-/// what lets the serving platform, the controller halves and the link senders
-/// write into a single trace.
+/// [`Telemetry::recording`] starts a session bound to replica 0; clones share
+/// that replica's buffer, which is what lets the serving platform, the
+/// controller halves and the link senders write into a single trace.
+/// [`Telemetry::for_replica`] derives a handle bound to another replica's
+/// buffer of the *same* session — fleet runners hand one to each replica
+/// (safe to record from parallel threads), and [`Telemetry::snapshot`] merges
+/// every replica's buffer deterministically by `(time, replica)`.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Arc<Mutex<Recorder>>>,
+    registry: Option<Arc<Registry>>,
+    recorder: Option<Arc<Mutex<Recorder>>>,
+    replica: u32,
 }
 
 impl Telemetry {
     /// The no-op sink: records nothing, costs one discriminant check per call.
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            registry: None,
+            recorder: None,
+            replica: 0,
+        }
     }
 
-    /// A recording handle with the given capacities; all clones share the
-    /// same recorder.
+    /// Start a recording session with the given capacities, bound to
+    /// replica 0. Capacities apply per replica buffer. All clones share the
+    /// same session and the same replica-0 buffer; use
+    /// [`Telemetry::for_replica`] to derive handles for other replicas.
     pub fn recording(config: TelemetryConfig) -> Self {
+        let registry = Arc::new(Registry {
+            config,
+            replicas: Mutex::new(BTreeMap::new()),
+        });
+        let recorder = registry.recorder(0);
         Telemetry {
-            inner: Some(Arc::new(Mutex::new(Recorder::new(config)))),
+            registry: Some(registry),
+            recorder: Some(recorder),
+            replica: 0,
+        }
+    }
+
+    /// Derive a handle bound to `replica`'s buffer of the same recording
+    /// session. Replica buffers are created on first derivation and retained
+    /// by the session, so any handle's [`Telemetry::snapshot`] sees them all.
+    /// Deriving from a disabled handle yields a disabled handle.
+    pub fn for_replica(&self, replica: u32) -> Telemetry {
+        match &self.registry {
+            None => Telemetry::disabled(),
+            Some(registry) => Telemetry {
+                recorder: Some(registry.recorder(replica)),
+                registry: Some(registry.clone()),
+                replica,
+            },
         }
     }
 
     /// True when this handle records (i.e. was built by [`Telemetry::recording`]).
     pub fn is_enabled(&self) -> bool {
-        self.inner.is_some()
+        self.recorder.is_some()
+    }
+
+    /// The replica index this handle stamps onto its records (0 for a root
+    /// or disabled handle).
+    pub fn replica(&self) -> u32 {
+        self.replica
     }
 
     /// Record one trace event at simulated time `at`. The constructor closure
@@ -333,8 +394,8 @@ impl Telemetry {
     /// (including `Vec`s) without charging disabled runs.
     #[inline]
     pub fn emit(&self, at: SimTime, make: impl FnOnce() -> EventKind) {
-        if let Some(inner) = &self.inner {
-            inner.lock().emit(at, make());
+        if let Some(recorder) = &self.recorder {
+            recorder.lock().emit(at, make());
         }
     }
 
@@ -342,38 +403,66 @@ impl Telemetry {
     /// configured sample interval per `(name, replica)` series.
     #[inline]
     pub fn gauge(&self, at: SimTime, name: &str, value: f64) {
-        if let Some(inner) = &self.inner {
-            inner.lock().gauge(at, name, value);
+        if let Some(recorder) = &self.recorder {
+            recorder.lock().gauge(at, name, value);
         }
     }
 
     /// Add to a monotone counter.
     #[inline]
     pub fn counter(&self, name: &str, delta: u64) {
-        if let Some(inner) = &self.inner {
-            inner.lock().counter(name, delta);
+        if let Some(recorder) = &self.recorder {
+            recorder.lock().counter(name, delta);
         }
     }
 
     /// Record one histogram observation.
     #[inline]
     pub fn observe(&self, name: &str, value: f64) {
-        if let Some(inner) = &self.inner {
-            inner.lock().observe(name, value);
+        if let Some(recorder) = &self.recorder {
+            recorder.lock().observe(name, value);
         }
     }
 
-    /// Set the replica context stamped onto subsequent events, series points
-    /// and counters. Fleet runners call this before each replica's run.
-    pub fn set_replica(&self, replica: u32) {
-        if let Some(inner) = &self.inner {
-            inner.lock().replica = replica;
-        }
-    }
-
-    /// Clone out everything recorded so far; `None` for a disabled handle.
+    /// Clone out everything the whole session recorded so far — every
+    /// replica's buffer, merged; `None` for a disabled handle.
+    ///
+    /// The merge is deterministic regardless of how many threads recorded:
+    /// events are time-sorted with ties broken by replica index (then by
+    /// per-replica emission order), and series/counters/histograms are
+    /// ordered by `(name, replica)`.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
-        self.inner.as_ref().map(|inner| inner.lock().snapshot())
+        let registry = self.registry.as_ref()?;
+        let recorders: Vec<Arc<Mutex<Recorder>>> =
+            registry.replicas.lock().values().cloned().collect();
+        let mut merged = TelemetrySnapshot {
+            events: Vec::new(),
+            events_dropped: 0,
+            series: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        // Ascending replica order (BTreeMap), so the stable time sort below
+        // breaks equal-timestamp ties by replica index.
+        for recorder in recorders {
+            let part = recorder.lock().snapshot();
+            merged.events.extend(part.events);
+            merged.events_dropped += part.events_dropped;
+            merged.series.extend(part.series);
+            merged.counters.extend(part.counters);
+            merged.histograms.extend(part.histograms);
+        }
+        merged.events.sort_by_key(|e| e.at.as_micros());
+        merged
+            .series
+            .sort_by(|a, b| (&a.name, a.replica).cmp(&(&b.name, b.replica)));
+        merged
+            .counters
+            .sort_by(|a, b| (&a.name, a.replica).cmp(&(&b.name, b.replica)));
+        merged
+            .histograms
+            .sort_by(|a, b| (&a.name, a.replica).cmp(&(&b.name, b.replica)));
+        Some(merged)
     }
 }
 
@@ -489,18 +578,78 @@ mod tests {
     }
 
     #[test]
-    fn replica_context_partitions_series_and_counters() {
+    fn replica_handles_partition_series_and_counters() {
         let telemetry = Telemetry::recording(TelemetryConfig::default());
         telemetry.gauge(SimTime::ZERO, "depth", 1.0);
         telemetry.counter("msgs", 2);
-        telemetry.set_replica(1);
-        telemetry.gauge(SimTime::ZERO, "depth", 5.0);
-        telemetry.counter("msgs", 3);
+        let lane = telemetry.for_replica(1);
+        lane.gauge(SimTime::ZERO, "depth", 5.0);
+        lane.counter("msgs", 3);
         let snap = telemetry.snapshot().unwrap();
         assert_eq!(snap.series_named("depth").len(), 2);
         assert_eq!(snap.counter_total("msgs"), 5);
         let replicas: Vec<u32> = snap.counters.iter().map(|c| c.replica).collect();
         assert_eq!(replicas, vec![0, 1]);
+    }
+
+    #[test]
+    fn for_replica_on_disabled_stays_disabled() {
+        let telemetry = Telemetry::disabled();
+        let lane = telemetry.for_replica(3);
+        assert!(!lane.is_enabled());
+        lane.emit(SimTime::ZERO, || panic!("constructor must not run"));
+        assert!(lane.snapshot().is_none());
+    }
+
+    #[test]
+    fn replica_handles_record_into_the_same_session() {
+        let telemetry = Telemetry::recording(TelemetryConfig::default());
+        let lane = telemetry.for_replica(2);
+        assert_eq!(telemetry.replica(), 0);
+        assert_eq!(lane.replica(), 2);
+        telemetry.emit(SimTime::from_micros(1), || tick(1));
+        lane.emit(SimTime::from_micros(2), || tick(2));
+        // Any handle of the session sees the merged whole.
+        assert_eq!(telemetry.snapshot().unwrap().events.len(), 2);
+        assert_eq!(lane.snapshot().unwrap().events.len(), 2);
+        let replicas: Vec<u32> = lane
+            .snapshot()
+            .unwrap()
+            .events
+            .iter()
+            .map(|e| e.replica)
+            .collect();
+        assert_eq!(replicas, vec![0, 2]);
+    }
+
+    #[test]
+    fn parallel_replica_recording_merges_deterministically() {
+        let run = || {
+            let telemetry = Telemetry::recording(TelemetryConfig::default());
+            crossbeam::thread::scope(|s| {
+                for replica in 0..4u32 {
+                    let lane = telemetry.for_replica(replica);
+                    s.spawn(move |_| {
+                        for i in 0..50u64 {
+                            lane.emit(SimTime::from_micros(i * 10), || tick(i));
+                            lane.gauge(SimTime::from_micros(i * 10), "depth", i as f64);
+                            lane.counter("msgs", 1);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            telemetry.snapshot().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.events.len(), 200);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.counters, b.counters);
+        // Ties in time order are broken by replica index.
+        let first_four: Vec<u32> = a.events[..4].iter().map(|e| e.replica).collect();
+        assert_eq!(first_four, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -510,9 +659,9 @@ mod tests {
         // interleaved with earlier batch events).
         telemetry.emit(SimTime::from_micros(50), || tick(1));
         telemetry.emit(SimTime::from_micros(10), || tick(2));
-        telemetry.set_replica(1);
-        telemetry.emit(SimTime::from_micros(30), || tick(3));
-        telemetry.emit(SimTime::from_micros(5), || tick(4));
+        let lane = telemetry.for_replica(1);
+        lane.emit(SimTime::from_micros(30), || tick(3));
+        lane.emit(SimTime::from_micros(5), || tick(4));
         let snap = telemetry.snapshot().unwrap();
         for replica in [0u32, 1] {
             let stamps: Vec<u64> = snap

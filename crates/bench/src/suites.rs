@@ -620,8 +620,10 @@ fn scale(ctx: &BenchContext) -> Vec<BenchReport> {
 
     // The fleet fixture: the CV comparison scenario over a shared trace, one
     // warm-started Apparate controller per replica over its own charged link.
-    // Wall time across 1/2/4/8 replicas tracks the per-replica controller
-    // cost (N warm-starts, N links) on a fixed total workload.
+    // Fleet runs execute replicas wall-clock parallel (default thread count:
+    // available parallelism), so on a multi-core runner the x4/x8 rows
+    // measure real parallel speedup over the fixed total workload rather
+    // than a sequential sum of per-replica costs.
     let scenario = cv_scenario(ctx.seed, ctx.scaled(1_200));
     // The generative fleet fixture: the summarisation scenario's aggregate
     // stream (the `repro --sweep` regime), whole sequences dispatched, one

@@ -1,9 +1,12 @@
-//! Offline stand-in for the slice of `crossbeam` used by `apparate-exec`:
-//! an unbounded MPMC-ish channel. Backed by `std::sync::mpsc`, which provides
-//! the same `Sender`/`Receiver`/`TryRecvError` shape for the single-consumer
-//! pattern the profiler uses.
+//! Offline stand-in for the slices of `crossbeam` used by this workspace:
+//! an unbounded MPMC-ish channel (used by `apparate-exec`'s feedback links)
+//! and scoped threads (used by `apparate-serving`'s parallel fleet runs).
+//! Both mirror the upstream `crossbeam` API shapes, so replacing this stub
+//! with the real crate stays a manifest-only change.
 
-/// Channel types mirroring `crossbeam::channel`.
+/// Channel types mirroring `crossbeam::channel`. Backed by `std::sync::mpsc`,
+/// which provides the same `Sender`/`Receiver`/`TryRecvError` shape for the
+/// single-consumer pattern the profiler uses.
 pub mod channel {
     pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
 
@@ -13,9 +16,73 @@ pub mod channel {
     }
 }
 
+/// Scoped threads mirroring `crossbeam::thread`: [`thread::scope`] runs a
+/// closure that may spawn threads borrowing from the enclosing stack frame,
+/// joins every spawned thread before returning, and reports panics as an
+/// `Err` instead of aborting the caller. Backed by `std::thread::scope` —
+/// real OS threads, upstream-shaped surface.
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+    use std::thread as stdthread;
+
+    /// Join result: `Err` carries the payload of a panicked thread, exactly
+    /// like `std::thread::Result`.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle: spawn borrowing threads through it. All threads are
+    /// joined when the [`scope`] call returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in upstream `crossbeam`, the
+        /// closure receives the scope handle again so spawned threads can
+        /// themselves spawn siblings (`s.spawn(|_| ...)` is the common form).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller's
+    /// stack. Every spawned thread is joined before `scope` returns. Returns
+    /// `Ok` with the closure's result, or `Err` with a panic payload when a
+    /// spawned thread panicked without being joined (upstream `crossbeam`
+    /// semantics; a panic in the closure itself is also captured).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            stdthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{unbounded, TryRecvError};
+    use super::thread;
 
     #[test]
     fn channel_round_trip() {
@@ -27,5 +94,48 @@ mod tests {
         assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
         drop(tx);
         assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn scoped_threads_borrow_the_stack_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_handle() {
+        let result = thread::scope(|s| {
+            s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            })
+            .join()
+            .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn joined_panic_is_reported_by_the_handle() {
+        let outcome = thread::scope(|s| {
+            let handle = s.spawn(|_| -> u32 { panic!("worker died") });
+            handle.join().is_err()
+        })
+        .unwrap();
+        assert!(outcome, "join must surface the panic as Err");
+    }
+
+    #[test]
+    fn unjoined_panic_surfaces_as_scope_error() {
+        let result = thread::scope(|s| {
+            s.spawn(|_| panic!("unjoined"));
+        });
+        assert!(result.is_err(), "scope must report unjoined panics");
     }
 }
