@@ -134,6 +134,7 @@ impl Default for GreedyParams {
 
 /// Algorithm 1: greedy hill-climbing threshold tuning.
 pub fn greedy_tune(evaluator: &ThresholdEvaluator<'_>, params: GreedyParams) -> TuningOutcome {
+    // lint:allow(D001, reason = "wall-time metric only, never feeds a decision: runtime_us is reported in TuningOutcome and read by nothing")
     let start = Instant::now();
     let n = evaluator.num_ramps();
     let mut thresholds = vec![0.0f64; n];
@@ -212,6 +213,7 @@ pub fn grid_tune(
     accuracy_loss_budget: f64,
     step: f64,
 ) -> TuningOutcome {
+    // lint:allow(D001, reason = "wall-time metric only, never feeds a decision: runtime_us is reported in TuningOutcome and read by nothing")
     let start = Instant::now();
     let n = evaluator.num_ramps();
     let levels: Vec<f64> = {

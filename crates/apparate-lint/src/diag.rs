@@ -1,0 +1,287 @@
+//! Diagnostics, and the `lint:allow` escape hatch.
+//!
+//! A diagnostic names the rule, the `file:line:col` anchor, and a message.
+//! Violations are suppressed — never silently — with a comment escape that
+//! *must* carry a reason:
+//!
+//! ```text
+//! // lint:allow(D001, reason = "wall-time metric only, never feeds a decision")
+//! ```
+//!
+//! A directive suppresses matching diagnostics on its own line (trailing
+//! comment) and on the line immediately below (comment above the code), and
+//! must *lead* its comment — the phrase appearing mid-sentence is prose. A
+//! directive without a reason, with an empty reason, or naming an unknown
+//! rule is itself a diagnostic (`L001`) — and `L001` cannot be allowed, so
+//! the escape hatch can't be used to disable itself.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One finding: rule, anchor, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID (`D001`, `C003`, …; `L001` for malformed escapes).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What went wrong and what to do about it.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The canonical `file:line:col: RULE: message` rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A well-formed `lint:allow(RULE, reason = "…")` escape.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule ID the directive suppresses.
+    pub rule: String,
+    /// Line the directive's comment starts on.
+    pub line: u32,
+    /// The (non-empty) justification.
+    pub reason: String,
+}
+
+/// Scan comment tokens for `lint:allow` directives. Malformed directives are
+/// returned as `L001` diagnostics instead of directives.
+pub fn parse_allow_directives(
+    file: &str,
+    tokens: &[Token],
+    known_rules: &[&'static str],
+) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+    let mut directives = Vec::new();
+    let mut malformed = Vec::new();
+    for token in tokens {
+        if !matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        // A directive must *lead* the comment (after `//`, `//!`, `/*`, …);
+        // `lint:allow` mentioned mid-sentence is prose, not a directive.
+        let body = token.text.trim_start_matches(['/', '!', '*']).trim_start();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        match parse_one_directive(rest, known_rules) {
+            Ok((rule, reason)) => directives.push(AllowDirective {
+                rule,
+                line: token.line,
+                reason,
+            }),
+            Err(why) => malformed.push(Diagnostic {
+                rule: "L001",
+                file: file.to_string(),
+                line: token.line,
+                col: token.col,
+                message: why,
+            }),
+        }
+    }
+    (directives, malformed)
+}
+
+/// Parse `(RULE, reason = "…")` from the text following `lint:allow`. The
+/// reason is a quoted string and may itself contain commas and parentheses,
+/// so this is a cursor walk, not a split on delimiters.
+fn parse_one_directive(
+    rest: &str,
+    known_rules: &[&'static str],
+) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("malformed lint:allow: expected `(RULE, reason = \"…\")`".to_string());
+    };
+    let rest = rest.trim_start();
+    let rule_len = rest
+        .find(|c: char| !c.is_ascii_alphanumeric())
+        .unwrap_or(rest.len());
+    let rule = &rest[..rule_len];
+    if !known_rules.contains(&rule) {
+        return Err(format!(
+            "lint:allow names unknown rule `{rule}` (run with --list-rules for the registry)"
+        ));
+    }
+    let rest = rest[rule_len..].trim_start();
+    if rest.starts_with(')') || !rest.starts_with(',') {
+        return Err(format!(
+            "lint:allow({rule}) requires a reason: `lint:allow({rule}, reason = \"…\")`"
+        ));
+    }
+    let quoted = rest[1..]
+        .trim_start()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('"'));
+    let Some(quoted) = quoted else {
+        return Err(format!(
+            "lint:allow({rule}) reason must be `reason = \"…\"` inside the parentheses"
+        ));
+    };
+    let Some(end) = quoted.find('"') else {
+        return Err(format!("lint:allow({rule}) reason string is unterminated"));
+    };
+    let reason = &quoted[..end];
+    if reason.trim().is_empty() {
+        return Err(format!("lint:allow({rule}) has an empty reason"));
+    }
+    if !quoted[end + 1..].trim_start().starts_with(')') {
+        return Err(format!("lint:allow({rule}) is missing its closing `)`"));
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// Drop diagnostics covered by a directive for the same rule on the same
+/// line or the line above. `L001` is never suppressible. Returns the kept
+/// diagnostics and how many were suppressed.
+pub fn apply_allows(
+    diagnostics: Vec<Diagnostic>,
+    directives: &[AllowDirective],
+) -> (Vec<Diagnostic>, usize) {
+    let before = diagnostics.len();
+    let kept: Vec<Diagnostic> = diagnostics
+        .into_iter()
+        .filter(|d| {
+            d.rule == "L001"
+                || !directives
+                    .iter()
+                    .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
+        })
+        .collect();
+    let suppressed = before - kept.len();
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const KNOWN: [&str; 2] = ["D001", "L001"];
+
+    fn parse(src: &str) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+        parse_allow_directives("f.rs", &lex(src), &KNOWN)
+    }
+
+    #[test]
+    fn well_formed_directive_parses() {
+        let (dirs, diags) = parse("// lint:allow(D001, reason = \"metric only\")\nx();");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(dirs[0].rule, "D001");
+        assert_eq!(dirs[0].reason, "metric only");
+        assert_eq!(dirs[0].line, 1);
+    }
+
+    #[test]
+    fn reason_may_contain_commas_and_parens() {
+        let (dirs, diags) =
+            parse("// lint:allow(D001, reason = \"reported (not branched on), ever\")");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(dirs[0].reason, "reported (not branched on), ever");
+    }
+
+    #[test]
+    fn block_and_doc_comments_carry_directives_too() {
+        let (dirs, diags) =
+            parse("/* lint:allow(D001, reason = \"a\") */\n//! lint:allow(L001, reason = \"b\")");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(dirs.len(), 2);
+    }
+
+    #[test]
+    fn missing_reason_is_l001() {
+        let (dirs, diags) = parse("// lint:allow(D001)");
+        assert!(dirs.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L001");
+        assert!(diags[0].message.contains("requires a reason"), "{diags:?}");
+    }
+
+    #[test]
+    fn empty_reason_is_l001() {
+        let (dirs, diags) = parse("// lint:allow(D001, reason = \"  \")");
+        assert!(dirs.is_empty());
+        assert!(diags[0].message.contains("empty reason"), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_rule_is_l001() {
+        let (dirs, diags) = parse("// lint:allow(Z999, reason = \"nope\")");
+        assert!(dirs.is_empty());
+        assert!(diags[0].message.contains("unknown rule"), "{diags:?}");
+    }
+
+    #[test]
+    fn unterminated_reason_is_l001() {
+        let (dirs, diags) = parse("// lint:allow(D001, reason = \"oops");
+        assert!(dirs.is_empty());
+        assert!(diags[0].message.contains("unterminated"), "{diags:?}");
+    }
+
+    #[test]
+    fn mid_sentence_mention_is_prose_not_a_directive() {
+        let (dirs, diags) = parse("// escapes are spelled lint:allow(RULE, reason)");
+        assert!(dirs.is_empty(), "{dirs:?}");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn directive_inside_a_string_literal_is_not_parsed() {
+        let (dirs, diags) = parse("let s = \"// lint:allow(D001)\";");
+        assert!(dirs.is_empty());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    fn diag_at(rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: "f.rs".to_string(),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    fn allow_at(rule: &str, line: u32) -> AllowDirective {
+        AllowDirective {
+            rule: rule.to_string(),
+            line,
+            reason: "because".to_string(),
+        }
+    }
+
+    #[test]
+    fn allows_cover_same_line_and_next_line_only() {
+        let diags = vec![diag_at("D001", 5), diag_at("D001", 6), diag_at("D001", 7)];
+        let (kept, suppressed) = apply_allows(diags, &[allow_at("D001", 5)]);
+        assert_eq!(suppressed, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 7);
+    }
+
+    #[test]
+    fn allows_are_rule_specific() {
+        let (kept, suppressed) = apply_allows(vec![diag_at("D001", 5)], &[allow_at("L001", 5)]);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn l001_cannot_be_allowed() {
+        let (kept, suppressed) = apply_allows(vec![diag_at("L001", 5)], &[allow_at("L001", 5)]);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1, "the escape hatch must not disable itself");
+    }
+}

@@ -1,0 +1,454 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The rules in [`crate::rules`] match token *sequences*, so the lexer's only
+//! job is to split source into identifiers, punctuation, literals and
+//! comments without ever mistaking the inside of a string or comment for
+//! code. That means it must get the awkward corners right: nested block
+//! comments, raw strings with arbitrary `#` fences, byte strings, escaped
+//! quotes, and the `'a` lifetime vs `'a'` char-literal ambiguity. It does
+//! *not* need to classify keywords, parse numbers precisely, or build a
+//! syntax tree — rules work on flat token windows.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `let`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// Punctuation, maximal-munch compound operators included (`::`, `+=`).
+    Punct,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte literal (`'x'`, `'\''`, `b'\n'`).
+    Char,
+    /// Numeric literal (loosely munched; rules never inspect the value).
+    Num,
+    /// `// …` comment, doc comments included. Carries the full text.
+    LineComment,
+    /// `/* … */` comment, nesting resolved. Carries the full text.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text (delimiters included for literals and comments).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when this token is punctuation with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+}
+
+/// Compound operators, longest first so maximal munch is a prefix scan.
+/// (`//` and `/*` are absent on purpose: comments lex before punctuation.)
+const PUNCTS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one char, tracking line/col.
+    fn bump(&mut self, out: &mut String) {
+        let c = self.chars[self.i];
+        out.push(c);
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize, out: &mut String) {
+        for _ in 0..n {
+            if self.i < self.chars.len() {
+                self.bump(out);
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens, comments included. Never fails: unrecognised bytes
+/// become single-char `Punct` tokens, and unterminated literals or comments
+/// simply run to end of input (the rules only care about what came before).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c.is_whitespace() {
+            lx.bump(&mut String::new());
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        let kind = if c == '/' && lx.peek(1) == Some('/') {
+            while let Some(c) = lx.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                lx.bump(&mut text);
+            }
+            TokenKind::LineComment
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump_n(2, &mut text);
+            let mut depth = 1usize;
+            while depth > 0 && lx.peek(0).is_some() {
+                if lx.peek(0) == Some('/') && lx.peek(1) == Some('*') {
+                    lx.bump_n(2, &mut text);
+                    depth += 1;
+                } else if lx.peek(0) == Some('*') && lx.peek(1) == Some('/') {
+                    lx.bump_n(2, &mut text);
+                    depth -= 1;
+                } else {
+                    lx.bump(&mut text);
+                }
+            }
+            TokenKind::BlockComment
+        } else if let Some(kind) = lex_raw_or_byte_prefix(&mut lx, &mut text) {
+            kind
+        } else if c == '"' {
+            lex_string(&mut lx, &mut text);
+            TokenKind::Str
+        } else if c == '\'' {
+            lex_quote(&mut lx, &mut text)
+        } else if is_ident_start(c) {
+            while let Some(c) = lx.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                lx.bump(&mut text);
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(&mut lx, &mut text);
+            TokenKind::Num
+        } else {
+            let munched = PUNCTS
+                .iter()
+                .find(|p| p.chars().enumerate().all(|(k, pc)| lx.peek(k) == Some(pc)));
+            match munched {
+                Some(p) => lx.bump_n(p.len(), &mut text),
+                None => lx.bump(&mut text),
+            }
+            TokenKind::Punct
+        };
+        tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Handle tokens starting with `r` or `b`: raw strings (`r"…"`, `r#"…"#`),
+/// byte strings (`b"…"`, `br#"…"#`), byte chars (`b'x'`) and raw identifiers
+/// (`r#match`). Returns `None` when the `r`/`b` is just an ordinary
+/// identifier start, leaving the lexer untouched.
+fn lex_raw_or_byte_prefix(lx: &mut Lexer, text: &mut String) -> Option<TokenKind> {
+    let c = lx.peek(0)?;
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    // Look past an optional second prefix char (`br…`).
+    let (prefix, after) = if c == 'b' && lx.peek(1) == Some('r') {
+        (2, lx.peek(2))
+    } else {
+        (1, lx.peek(1))
+    };
+    match after {
+        // b"…" (no raw fence) and b'…'.
+        Some('"') if c == 'b' && prefix == 1 => {
+            lx.bump_n(1, text);
+            lex_string(lx, text);
+            Some(TokenKind::Str)
+        }
+        Some('\'') if c == 'b' && prefix == 1 => {
+            lx.bump_n(1, text);
+            lex_char(lx, text);
+            Some(TokenKind::Char)
+        }
+        // r"…", br"…": zero-fence raw string — no escapes, ends at `"`.
+        Some('"') => {
+            lx.bump_n(prefix + 1, text);
+            lex_raw_tail(lx, 0, text);
+            Some(TokenKind::Str)
+        }
+        Some('#') => {
+            // Count the fence. `r#ident` (one hash, then ident-start) is a
+            // raw identifier, not a string.
+            let mut hashes = 0usize;
+            while lx.peek(prefix + hashes) == Some('#') {
+                hashes += 1;
+            }
+            match lx.peek(prefix + hashes) {
+                Some('"') => {
+                    lx.bump_n(prefix + hashes + 1, text);
+                    lex_raw_tail(lx, hashes, text);
+                    Some(TokenKind::Str)
+                }
+                Some(ch) if c == 'r' && hashes == 1 && is_ident_start(ch) => {
+                    lx.bump_n(2, text); // r#
+                    while let Some(ch) = lx.peek(0) {
+                        if !is_ident_continue(ch) {
+                            break;
+                        }
+                        lx.bump(text);
+                    }
+                    Some(TokenKind::Ident)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Consume a raw-string body up to `"` followed by `hashes` `#`s.
+fn lex_raw_tail(lx: &mut Lexer, hashes: usize, text: &mut String) {
+    while lx.peek(0).is_some() {
+        if lx.peek(0) == Some('"') && (1..=hashes).all(|k| lx.peek(k) == Some('#')) {
+            lx.bump_n(1 + hashes, text);
+            return;
+        }
+        lx.bump(text);
+    }
+}
+
+/// Consume a `"…"` string with `\` escapes (opening quote not yet consumed).
+fn lex_string(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // opening "
+    while let Some(c) = lx.peek(0) {
+        if c == '\\' {
+            lx.bump_n(2, text);
+        } else if c == '"' {
+            lx.bump(text);
+            return;
+        } else {
+            lx.bump(text);
+        }
+    }
+}
+
+/// Consume a `'…'` char literal with escapes (opening quote not yet consumed).
+fn lex_char(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // opening '
+    while let Some(c) = lx.peek(0) {
+        if c == '\\' {
+            lx.bump_n(2, text);
+        } else if c == '\'' {
+            lx.bump(text);
+            return;
+        } else {
+            lx.bump(text);
+        }
+    }
+}
+
+/// Disambiguate `'` between a char literal and a lifetime:
+/// `'\…'` and `'x'` are chars; `'a`, `'static`, `'_` (no closing quote
+/// in position 2) are lifetimes.
+fn lex_quote(lx: &mut Lexer, text: &mut String) -> TokenKind {
+    let next = lx.peek(1);
+    if next == Some('\\') {
+        lex_char(lx, text);
+        return TokenKind::Char;
+    }
+    if next.is_some() && next != Some('\'') && lx.peek(2) == Some('\'') {
+        lx.bump_n(3, text);
+        return TokenKind::Char;
+    }
+    // Lifetime: quote plus identifier chars.
+    lx.bump(text);
+    while let Some(c) = lx.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        lx.bump(text);
+    }
+    TokenKind::Lifetime
+}
+
+/// Loose numeric munch: digits, `_`, type suffixes, and one fractional part.
+/// `0..10` must *not* swallow the range operator.
+fn lex_number(lx: &mut Lexer, text: &mut String) {
+    while let Some(c) = lx.peek(0) {
+        let fractional_dot =
+            c == '.' && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
+        if is_ident_continue(c) || fractional_dot {
+            lx.bump(text);
+        } else {
+            break;
+        }
+    }
+}
+
+/// The code tokens of a lexed stream: everything except comments.
+pub fn code_tokens(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_and_texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_single_tokens() {
+        let toks = kinds_and_texts(r####"let s = r#"a "quote" inside"#;"####);
+        assert_eq!(
+            toks[3],
+            (TokenKind::Str, r##"r#"a "quote" inside"#"##.to_string())
+        );
+        assert_eq!(toks[4], (TokenKind::Punct, ";".to_string()));
+    }
+
+    #[test]
+    fn zero_fence_raw_and_byte_strings() {
+        let toks = kinds_and_texts(r#"(r"no escapes \", b"bytes", br"both \")"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+        // In a raw string `\` is not an escape, so `\"` terminates it.
+        assert_eq!(strs[0].1, r#"r"no escapes \""#);
+        assert_eq!(strs[1].1, r#"b"bytes""#);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        let toks = kinds_and_texts("let r#match = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#match".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_resolve() {
+        let toks = kinds_and_texts("/* a /* b */ still comment */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[0].1, "/* a /* b */ still comment */");
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".to_string()));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds_and_texts("let c = 'a'; let r: &'static str = f::<'b>();");
+        assert!(toks.contains(&(TokenKind::Char, "'a'".to_string())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".to_string())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'b".to_string())));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_literals() {
+        let toks = kinds_and_texts(r#"('\'', "he said \"hi\"", '\\')"#);
+        assert!(toks.contains(&(TokenKind::Char, r"'\''".to_string())));
+        assert!(toks.contains(&(TokenKind::Str, r#""he said \"hi\"""#.to_string())));
+        assert!(toks.contains(&(TokenKind::Char, r"'\\'".to_string())));
+    }
+
+    #[test]
+    fn maximal_munch_compound_operators() {
+        let toks = kinds_and_texts("a <<= 1; b ..= c; d += e;");
+        for op in ["<<=", "..=", "+="] {
+            assert!(
+                toks.contains(&(TokenKind::Punct, op.to_string())),
+                "missing {op} in {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_operator_is_not_swallowed_by_numbers() {
+        let toks = kinds_and_texts("for i in 0..10 {} let f = 1.5;");
+        assert!(toks.contains(&(TokenKind::Num, "0".to_string())));
+        assert!(toks.contains(&(TokenKind::Punct, "..".to_string())));
+        assert!(toks.contains(&(TokenKind::Num, "10".to_string())));
+        assert!(toks.contains(&(TokenKind::Num, "1.5".to_string())));
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        let toks = kinds_and_texts("let x = a / b; // trailing note");
+        assert!(toks.contains(&(TokenKind::Punct, "/".to_string())));
+        assert_eq!(toks.last().unwrap().0, TokenKind::LineComment);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_track_newlines() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multiline_string_advances_line_tracking() {
+        let toks = lex("let s = \"a\nb\"; next");
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 2);
+    }
+
+    #[test]
+    fn code_tokens_strips_comments_only() {
+        let toks = lex("fn f() {} // note\n/* block */ g();");
+        let code = code_tokens(&toks);
+        assert!(code
+            .iter()
+            .all(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)));
+        assert!(code.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_end_without_panicking() {
+        for src in ["\"open", "/* open", "r#\"open", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "no tokens for {src:?}");
+        }
+    }
+}

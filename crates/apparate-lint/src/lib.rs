@@ -1,0 +1,94 @@
+//! `apparate-lint` — a workspace determinism & concurrency lint pass.
+//!
+//! The system's headline invariants — fleet tables byte-identical for any
+//! thread count, sim-time (never wall-clock) driving every decision, GPU
+//! configuration advancing only at delivery sites — are pinned by integration
+//! tests, but a test can't see a new `HashMap` iteration or a stray
+//! `Instant::now()` sneaking into a decision path. This crate enforces those
+//! invariants at the *source* level: a hand-rolled, dependency-free lexer
+//! ([`lexer`]) splits every workspace `.rs` file into tokens, and a registry
+//! of repo-specific rules ([`rules`]) matches token windows, producing
+//! `file:line:col` diagnostics with stable rule IDs ([`diag`]).
+//!
+//! Violations that are intentional carry a mandatory-reason escape in the
+//! source: `// lint:allow(D001, reason = "…")`. An escape without a reason
+//! is itself a diagnostic (`L001`), so every exception is justified where it
+//! lives.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run --release -p apparate-lint -- --deny-warnings
+//! ```
+//!
+//! (the CI `analysis` job does exactly this), add `--json` for a
+//! machine-readable report, `--crate NAME` to scope to one crate, and
+//! `--list-rules` for the registry. The crate lints itself: its own sources
+//! are workspace files like any other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use diag::{apply_allows, parse_allow_directives, AllowDirective, Diagnostic};
+pub use lexer::{code_tokens, lex, Token, TokenKind};
+pub use rules::{known_rule_ids, registry, FileCtx, Rule};
+pub use workspace::{workspace_files, SourceFile};
+
+/// Lint one source text as if it lived at `path` inside `crate_name`.
+/// Returns the surviving diagnostics plus how many were suppressed by
+/// well-formed `lint:allow` escapes. This is the per-file pipeline the
+/// binary runs, exposed for fixture tests.
+pub fn check_source(
+    path: &str,
+    crate_name: &str,
+    is_compat: bool,
+    src: &str,
+) -> (Vec<Diagnostic>, usize) {
+    let all_tokens = lex(src);
+    let tokens = code_tokens(&all_tokens);
+    let ctx = FileCtx {
+        path,
+        crate_name,
+        is_compat,
+        tokens: &tokens,
+    };
+    let known = known_rule_ids();
+    let (directives, mut diagnostics) = parse_allow_directives(path, &all_tokens, &known);
+    for rule in registry() {
+        if (rule.applies)(&ctx) {
+            (rule.check)(&ctx, &mut diagnostics);
+        }
+    }
+    let (mut kept, suppressed) = apply_allows(diagnostics, &directives);
+    kept.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (kept, suppressed)
+}
+
+/// Result of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Diagnostics across all files, in (file, line, col) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations suppressed by well-formed `lint:allow` escapes.
+    pub suppressed: usize,
+    /// Files lexed and checked.
+    pub files_checked: usize,
+}
+
+/// Lint a set of discovered files (see [`workspace_files`]).
+pub fn lint_files(files: &[SourceFile]) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for file in files {
+        let src = std::fs::read_to_string(&file.path)?;
+        let (diags, suppressed) = check_source(&file.rel, &file.crate_name, file.is_compat, &src);
+        report.diagnostics.extend(diags);
+        report.suppressed += suppressed;
+        report.files_checked += 1;
+    }
+    Ok(report)
+}

@@ -453,6 +453,25 @@ impl Telemetry {
             merged.histograms.extend(part.histograms);
         }
         merged.events.sort_by_key(|e| e.at.as_micros());
+        // Runtime counterpart of the static determinism rules (apparate-lint
+        // D-family): the merged trace must keep every replica's events
+        // monotone in sim time, or the parallel fleet's "byte-identical for
+        // any thread count" invariant is already gone here.
+        if cfg!(debug_assertions) {
+            let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+            for event in &merged.events {
+                let at = event.at.as_micros();
+                let prev = last.insert(event.replica, at);
+                debug_assert!(
+                    prev.is_none_or(|p| p <= at),
+                    "telemetry merge broke per-replica sim-time monotonicity \
+                     (replica {}: {:?} then {} µs)",
+                    event.replica,
+                    prev,
+                    at
+                );
+            }
+        }
         merged
             .series
             .sort_by(|a, b| (&a.name, a.replica).cmp(&(&b.name, b.replica)));

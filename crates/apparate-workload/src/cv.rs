@@ -212,7 +212,7 @@ mod tests {
     fn corpus_has_eight_distinct_videos() {
         let corpus = video_corpus(2_000, 42);
         assert_eq!(corpus.len(), 8);
-        let names: std::collections::HashSet<_> = corpus.iter().map(|w| w.name.clone()).collect();
+        let names: std::collections::BTreeSet<_> = corpus.iter().map(|w| w.name.clone()).collect();
         assert_eq!(names.len(), 8);
         // Seeds differ, so the difficulty streams must differ.
         assert_ne!(
