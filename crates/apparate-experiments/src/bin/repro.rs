@@ -18,8 +18,10 @@
 //!
 //! `--sweep` switches to the scale-out/sensitivity mode: fleet-level win
 //! tables for 1/2/4/8 replicas over the shared CV trace *and* the shared
-//! generative request stream (least-loaded dispatch), then the SLO
-//! (Figure 17) and accuracy-constraint (Figure 19) sensitivity grids.
+//! generative request stream (least-loaded dispatch), the overload admission
+//! tables (the bursty diurnal stream at 2/4/8× capacity, with and without
+//! the SLO-driven admission front end), then the SLO (Figure 17) and
+//! accuracy-constraint (Figure 19) sensitivity grids.
 //! `--threads N` bounds the worker threads fleet replicas run on (default:
 //! available parallelism; `1` forces the sequential path). The thread count
 //! only changes wall-clock time — tables and telemetry exports are
@@ -34,7 +36,8 @@
 //! observability must not look like success.
 
 use apparate_experiments::{
-    render_fleet_summary, run_classification_fleet_threaded, run_classification_fleet_traced,
+    render_admission_summary, render_fleet_summary, run_admission_fleet,
+    run_classification_fleet_threaded, run_classification_fleet_traced,
     run_generative_fleet_threaded, run_scenarios_traced, scenario_config, sensitivity_sweeps,
     OverheadTable, ReproSizes, ScenarioSelect, SensitivityGrid,
 };
@@ -332,6 +335,21 @@ fn run_sweep(seed: u64, quick: bool, sizes: ReproSizes, telemetry: &Telemetry, t
         gen_runs.push(run);
     }
     emit(&format!("{}\n", render_fleet_summary(&gen_runs)));
+
+    // Overload sections: the bursty diurnal stream pushed 2–8× past fleet
+    // capacity, served by the Apparate fleet with and without the SLO-driven
+    // admission front end (bounded queues + rate-slew pacing + shedding).
+    // Accounting is honest: admission latencies are judged from original
+    // arrivals and shed requests count against attainment.
+    let mut admission_runs = Vec::new();
+    for scale in [2.0, 4.0, 8.0] {
+        let diurnal =
+            apparate_experiments::diurnal_scenario(seed, frames).with_arrival_scale(scale);
+        let run = run_admission_fleet(&diurnal, 2, FleetDispatch::LeastLoaded, threads);
+        emit(&format!("{}\n", run.table.render()));
+        admission_runs.push(run);
+    }
+    emit(&format!("{}\n", render_admission_summary(&admission_runs)));
 
     for table in sensitivity_sweeps(seed, frames, nlp_requests, &grid) {
         emit(&format!("{}\n", table.render()));

@@ -29,11 +29,12 @@ use apparate_baselines::{
 use apparate_core::ApparateConfig;
 use apparate_exec::{LinkStats, OverheadReport};
 use apparate_serving::{
-    available_threads, FleetDispatch, FleetOutcome, FleetOutcomeView, GenerativeFleetOutcome,
-    GenerativeReplicaFleet, LatencySummary, ReplicaFleet, ReplicaUnit, RequestShard,
-    ServingOutcome, TokenReplicaUnit, TraceShard, VanillaTokenPolicy,
+    available_threads, shard_arrivals, stream_arrivals, AdmissionConfig, FleetDispatch,
+    FleetOutcome, FleetOutcomeView, GenerativeFleetOutcome, GenerativeReplicaFleet, IngestSession,
+    IngestStats, LatencySummary, ReplicaFleet, ReplicaUnit, RequestShard, ServingOutcome,
+    TokenReplicaUnit, TraceShard, VanillaTokenPolicy,
 };
-use apparate_sim::SimDuration;
+use apparate_sim::{Percentiles, SimDuration};
 use apparate_telemetry::Telemetry;
 
 use crate::controller::{ApparatePolicy, ApparateTokenPolicy};
@@ -133,19 +134,81 @@ pub fn run_classification_fleet_traced(
     telemetry: &Telemetry,
     threads: usize,
 ) -> FleetRun {
-    let split = scenario.workload.bootstrap_split();
-    let serving_samples = split.serving;
-    let n = serving_samples.len();
     let (_, trace, dep_budget) = classification_fixture(scenario, &config);
-    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
-    let budget_plan = dep_budget.plan.clone();
     // The dispatcher's per-request service estimate: the batch-1 vanilla
     // execution time (what a production front end knows about the model).
-    let service_estimate = SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(1));
-    let fleet = ReplicaFleet::new(replicas, dispatch, scenario.serving.clone());
+    let service_estimate = classification_service_estimate(&dep_budget);
     // Sharding depends only on arrivals and dispatch, so all three policy
     // families serve these exact shards.
-    let shards = fleet.shard(&trace, service_estimate);
+    let shards = shard_arrivals(&trace, replicas, dispatch, service_estimate);
+    run_classification_fleet_over_shards(
+        scenario, replicas, dispatch, config, telemetry, threads, &shards,
+    )
+}
+
+/// The front end's per-request service estimate for a classification fleet:
+/// the batch-1 vanilla execution time of the deployed model.
+fn classification_service_estimate(dep_budget: &RampDeployment) -> SimDuration {
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(1))
+}
+
+/// Like [`run_classification_fleet_traced`], with the replay sharding step
+/// replaced by streaming ingest: arrivals are consumed one at a time through
+/// an [`IngestSession`] in passthrough mode (no admission), which makes
+/// *exactly* the batch path's dispatch decisions — so the resulting table is
+/// byte-identical to [`run_classification_fleet`] on the same scenario. This
+/// is the determinism fence `tests/parallel.rs` diffs at every thread count.
+pub fn run_classification_fleet_streamed(
+    scenario: &ClassificationScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    threads: usize,
+) -> FleetRun {
+    let config = scenario_config();
+    let (_, trace, dep_budget) = classification_fixture(scenario, &config);
+    let service_estimate = classification_service_estimate(&dep_budget);
+    let streamed = stream_arrivals(
+        &trace,
+        replicas,
+        dispatch,
+        service_estimate,
+        None,
+        &Telemetry::disabled(),
+    );
+    run_classification_fleet_over_shards(
+        scenario,
+        replicas,
+        dispatch,
+        config,
+        &Telemetry::disabled(),
+        threads,
+        &streamed.shards,
+    )
+}
+
+/// Serve pre-computed shards with the vanilla, static-EE and Apparate fleets.
+/// Both the trace-replay path ([`run_classification_fleet_traced`]) and the
+/// streamed-ingest paths ([`run_classification_fleet_streamed`],
+/// [`run_admission_fleet`]) funnel through here, so identical shards produce
+/// byte-identical tables regardless of how the arrivals were consumed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_classification_fleet_over_shards(
+    scenario: &ClassificationScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    config: ApparateConfig,
+    telemetry: &Telemetry,
+    threads: usize,
+    shards: &[TraceShard],
+) -> FleetRun {
+    let split = scenario.workload.bootstrap_split();
+    let serving_samples = split.serving;
+    let n: usize = shards.iter().map(|s| s.indices.len()).sum();
+    let (_, _, dep_budget) = classification_fixture(scenario, &config);
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    let budget_plan = dep_budget.plan.clone();
+    let fleet = ReplicaFleet::new(replicas, dispatch, scenario.serving.clone());
 
     let mut summaries: Vec<LatencySummary> = Vec::new();
 
@@ -156,7 +219,7 @@ pub fn run_classification_fleet_traced(
             .collect();
         let estimate = batch_time_fn(&vanilla_plan);
         let out = fleet
-            .serve(&shards, serving_samples)
+            .serve(shards, serving_samples)
             .units(
                 policies
                     .iter_mut()
@@ -174,7 +237,7 @@ pub fn run_classification_fleet_traced(
             .collect();
         let estimate = batch_time_fn(&budget_plan);
         let out = fleet
-            .serve(&shards, serving_samples)
+            .serve(shards, serving_samples)
             .units(
                 policies
                     .iter_mut()
@@ -189,7 +252,7 @@ pub fn run_classification_fleet_traced(
     // own charged link.
     let (apparate_out, overhead) = apparate_fleet(
         &fleet,
-        &shards,
+        shards,
         serving_samples,
         split.validation,
         &dep_budget,
@@ -317,19 +380,86 @@ pub fn run_generative_fleet_traced(
 ) -> FleetRun {
     let config = scenario_config();
     let (_, dep_budget) = generative_fixture(scenario, &config);
-    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
-    let budget_plan = dep_budget.plan.clone();
+    let per_token_estimate = generative_service_estimate(&dep_budget);
     let requests = generative_requests(scenario);
-    let tokens = WorkloadTokens(&scenario.workload);
-    let calibration = generative_calibration(&scenario.workload);
-    // The dispatcher's per-token service estimate: the batch-1 decode-step
-    // time (what a production front end knows about the model); a request's
-    // projected service is this times its output length.
-    let per_token_estimate = SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(1));
     let fleet = GenerativeReplicaFleet::new(replicas, dispatch, scenario.batching);
     // Sharding depends only on arrivals, output lengths and dispatch, so all
     // three policy families serve these exact shards.
     let shards = fleet.shard(&requests, per_token_estimate);
+    run_generative_fleet_over_shards(scenario, replicas, dispatch, telemetry, threads, &shards)
+}
+
+/// The front end's per-*token* service estimate for a generative fleet: the
+/// batch-1 decode-step time of the deployed model. A request's projected
+/// service is this times its output length.
+fn generative_service_estimate(dep_budget: &RampDeployment) -> SimDuration {
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    SimDuration::from_micros_f64(vanilla_plan.vanilla_total_us(1))
+}
+
+/// Like [`run_generative_fleet_threaded`], with the replay sharding step
+/// replaced by streaming ingest: whole sequences are offered one at a time
+/// through an [`IngestSession`] in passthrough mode, each weighted by its
+/// projected decode time (`output_tokens × per-token estimate`), reproducing
+/// the batch [`apparate_serving::shard_requests`] decisions exactly — so the
+/// resulting table is byte-identical to [`run_generative_fleet`].
+pub fn run_generative_fleet_streamed(
+    scenario: &GenerativeScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    threads: usize,
+) -> FleetRun {
+    let config = scenario_config();
+    let (_, dep_budget) = generative_fixture(scenario, &config);
+    let per_token_estimate = generative_service_estimate(&dep_budget);
+    let requests = generative_requests(scenario);
+    let mut session = IngestSession::new(replicas, dispatch, per_token_estimate);
+    for request in &requests {
+        let service = SimDuration::from_micros_f64(
+            per_token_estimate.as_micros() as f64 * request.output_tokens.max(1) as f64,
+        );
+        session.offer_weighted(request.arrival, service);
+    }
+    let streamed = session.finish();
+    // Rebuild whole-sequence shards from the streamed dispatch decisions:
+    // the shard carries the actual requests, not just arrival times.
+    let shards: Vec<RequestShard> = streamed
+        .shards
+        .iter()
+        .map(|shard| RequestShard {
+            requests: shard.indices.iter().map(|&i| requests[i].clone()).collect(),
+            indices: shard.indices.clone(),
+        })
+        .collect();
+    run_generative_fleet_over_shards(
+        scenario,
+        replicas,
+        dispatch,
+        &Telemetry::disabled(),
+        threads,
+        &shards,
+    )
+}
+
+/// Serve pre-computed request shards with the vanilla, static-EE and Apparate
+/// token-policy fleets. Both the replay path ([`run_generative_fleet_traced`])
+/// and the streamed path ([`run_generative_fleet_streamed`]) funnel through
+/// here, so identical shards produce byte-identical tables.
+pub fn run_generative_fleet_over_shards(
+    scenario: &GenerativeScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    telemetry: &Telemetry,
+    threads: usize,
+    shards: &[RequestShard],
+) -> FleetRun {
+    let config = scenario_config();
+    let (_, dep_budget) = generative_fixture(scenario, &config);
+    let vanilla_plan = dep_budget.plan.with_ramps(Vec::new());
+    let budget_plan = dep_budget.plan.clone();
+    let tokens = WorkloadTokens(&scenario.workload);
+    let calibration = generative_calibration(&scenario.workload);
+    let fleet = GenerativeReplicaFleet::new(replicas, dispatch, scenario.batching);
 
     let mut summaries: Vec<LatencySummary> = Vec::new();
 
@@ -343,7 +473,7 @@ pub fn run_generative_fleet_traced(
             })
             .collect();
         let out = fleet
-            .serve(&shards, &tokens)
+            .serve(shards, &tokens)
             .units(
                 policies
                     .iter_mut()
@@ -360,7 +490,7 @@ pub fn run_generative_fleet_traced(
             .map(|_| StaticTokenPolicy::uniform(budget_plan.clone(), STATIC_THRESHOLD, "static-ee"))
             .collect();
         let out = fleet
-            .serve(&shards, &tokens)
+            .serve(shards, &tokens)
             .units(
                 policies
                     .iter_mut()
@@ -375,7 +505,7 @@ pub fn run_generative_fleet_traced(
     // over its own charged link.
     let (apparate_out, overhead) = apparate_generative_fleet(
         &fleet,
-        &shards,
+        shards,
         &tokens,
         &calibration,
         &dep_budget,
@@ -448,6 +578,209 @@ fn apparate_generative_fleet(
         add_stats(&mut overhead.downlink, &report.downlink);
     }
     (out, overhead)
+}
+
+/// Result of one overload run: the same scenario served by the Apparate fleet
+/// with and without SLO-driven admission control at the front end.
+pub struct AdmissionFleetRun {
+    /// Scenario name (carries the overload factor, e.g. `load×4`).
+    pub scenario: String,
+    /// Fleet size.
+    pub replicas: usize,
+    /// Dispatch policy of the front end.
+    pub dispatch: FleetDispatch,
+    /// Win table: vanilla | apparate | apparate+admission. The admission
+    /// row's latencies and SLO verdicts are **honest**: measured from each
+    /// request's *original* arrival (pacing delay included), with shed
+    /// requests counting against attainment, never hidden.
+    pub table: ComparisonTable,
+    /// Front-end counters from the admission-controlled ingest session.
+    pub ingest: IngestStats,
+    /// Hysteresis oscillations in the admission decision log (pinned at zero
+    /// by `tests/admission.rs`).
+    pub oscillations: usize,
+    /// SLO attainment of the Apparate fleet *without* admission control:
+    /// on-time requests over offered requests.
+    pub attainment_without: f64,
+    /// SLO attainment *with* admission control: on-time requests (measured
+    /// from original arrival) over offered requests — shed requests count as
+    /// misses.
+    pub attainment_with: f64,
+    /// Requests dispatched to each replica under admission control.
+    pub shard_sizes: Vec<usize>,
+}
+
+impl AdmissionFleetRun {
+    /// Attainment improvement from admission control, in percentage points.
+    pub fn attainment_delta_points(&self) -> f64 {
+        (self.attainment_with - self.attainment_without) * 100.0
+    }
+}
+
+/// Serve one classification scenario — typically an overloaded one, see
+/// [`crate::scenario::diurnal_scenario`] and
+/// [`ClassificationScenario::with_arrival_scale`] — with the Apparate fleet
+/// twice: once over plain replay shards (every arrival dispatched, queues
+/// unbounded) and once behind the streaming admission front end
+/// ([`stream_arrivals`] with an [`AdmissionConfig`] derived from the
+/// scenario's SLO). The vanilla fleet over the replay shards anchors the win
+/// table.
+///
+/// Accounting is honest: admission-run latencies are measured from each
+/// request's *original* arrival time (so pacing delay is charged, not
+/// hidden), and attainment is on-time requests over *offered* requests, so
+/// every shed request counts as a miss. The headline claim this supports:
+/// under multi-× overload, shedding the requests the SLO model predicts
+/// cannot be served on time keeps the survivors' queueing delay bounded and
+/// raises fleet-wide attainment over the admit-everything fleet.
+pub fn run_admission_fleet(
+    scenario: &ClassificationScenario,
+    replicas: usize,
+    dispatch: FleetDispatch,
+    threads: usize,
+) -> AdmissionFleetRun {
+    let config = scenario_config();
+    let slo = scenario
+        .serving
+        .slo
+        .expect("admission control needs a response SLO");
+    let (_, trace, dep_budget) = classification_fixture(scenario, &config);
+    let service_estimate = classification_service_estimate(&dep_budget);
+
+    // Pass 1: the admit-everything fleet over plain replay shards (the
+    // vanilla row of the same run anchors the table's wins).
+    let replay_shards = shard_arrivals(&trace, replicas, dispatch, service_estimate);
+    let replay = run_classification_fleet_over_shards(
+        scenario,
+        replicas,
+        dispatch,
+        config,
+        &Telemetry::disabled(),
+        threads,
+        &replay_shards,
+    );
+    let vanilla_summary = replay
+        .table
+        .row("vanilla")
+        .expect("vanilla row")
+        .summary
+        .clone();
+    let apparate_row = replay.table.row("apparate").expect("apparate row");
+    let apparate_summary = apparate_row.summary.clone();
+    // Replay dispatches every offered arrival, so attainment is just the
+    // on-time fraction (records judge SLO against true arrival times).
+    let attainment_without = 1.0 - apparate_summary.slo_violation_rate;
+
+    // Pass 2: the same fleet behind the admission front end. Queue bound:
+    // the number of batch-1 service slots that fit in one SLO — a request
+    // admitted behind a full queue is exactly the request the model predicts
+    // cannot finish inside its deadline, so a sustained overload sheds
+    // instead of building backlog that defeats the SLO for everyone.
+    let service_us = service_estimate.as_micros().max(1);
+    let queue_bound = ((slo.as_micros() / service_us) as usize).max(1);
+    let admission = AdmissionConfig::for_slo(slo, queue_bound);
+    let streamed = stream_arrivals(
+        &trace,
+        replicas,
+        dispatch,
+        service_estimate,
+        Some(admission),
+        &Telemetry::disabled(),
+    );
+
+    let split = scenario.workload.bootstrap_split();
+    let fleet = ReplicaFleet::new(replicas, dispatch, scenario.serving.clone());
+    let (admitted_out, _overhead) = apparate_fleet(
+        &fleet,
+        &streamed.shards,
+        split.serving,
+        split.validation,
+        &dep_budget,
+        config,
+        scenario.reference_batch,
+        &Telemetry::disabled(),
+        threads,
+    );
+
+    // Honest admission-row accounting: a record's id is its index within its
+    // shard, whose `indices` point back at the offered stream — so recover
+    // the original arrival and judge latency and the SLO against it.
+    let mut adjusted_ms: Vec<f64> = Vec::new();
+    let mut on_time = 0usize;
+    let mut served = 0usize;
+    for (replica, outcome) in admitted_out.per_replica.iter().enumerate() {
+        let shard = &streamed.shards[replica];
+        for record in &outcome.records {
+            let original = trace.times()[shard.indices[record.id as usize]];
+            adjusted_ms.push(record.released.saturating_since(original).as_millis_f64());
+            served += 1;
+            if record.released <= original + slo {
+                on_time += 1;
+            }
+        }
+    }
+    let mut admission_summary = admitted_out.summary("apparate+admission");
+    admission_summary.latency_ms = Percentiles::from_samples(&adjusted_ms);
+    admission_summary.slo_violation_rate = if served == 0 {
+        0.0
+    } else {
+        (served - on_time) as f64 / served as f64
+    };
+    let offered = streamed.stats.offered.max(1);
+    let attainment_with = on_time as f64 / offered as f64;
+
+    AdmissionFleetRun {
+        scenario: scenario.name.clone(),
+        replicas,
+        dispatch,
+        table: ComparisonTable::new(
+            format!("{} ×{replicas} ({dispatch}) admission", scenario.name),
+            "latency",
+            vec![vanilla_summary, apparate_summary, admission_summary],
+        ),
+        ingest: streamed.stats,
+        oscillations: streamed.oscillations(),
+        attainment_without,
+        attainment_with,
+        shard_sizes: admitted_out.shard_sizes,
+    }
+}
+
+/// Render the overload summary across admission runs: one row per
+/// [`AdmissionFleetRun`], showing the front-end counters and the attainment
+/// of the Apparate fleet with and without admission control. Deterministic,
+/// like every other table in [`crate::report`].
+pub fn render_admission_summary(runs: &[AdmissionFleetRun]) -> String {
+    let mut out = crate::report::title_rule("overload admission summary");
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>8} {:>7} {:>6} {:>7} {:>4} {:>8} {:>8} {:>7}\n",
+        "scenario",
+        "offered",
+        "shed",
+        "shed%",
+        "max_q",
+        "nudges",
+        "osc",
+        "att w/o",
+        "att w/",
+        "Δ pts",
+    ));
+    for run in runs {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>8} {:>6.1}% {:>6} {:>7} {:>4} {:>7.1}% {:>7.1}% {:>+7.1}\n",
+            format!("{} ×{}", run.scenario, run.replicas),
+            run.ingest.offered,
+            run.ingest.shed,
+            run.ingest.shed_rate() * 100.0,
+            run.ingest.max_depth,
+            run.ingest.nudges,
+            run.oscillations,
+            run.attainment_without * 100.0,
+            run.attainment_with * 100.0,
+            run.attainment_delta_points(),
+        ));
+    }
+    out
 }
 
 /// Render the scale-out summary across fleet sizes: one row per [`FleetRun`],

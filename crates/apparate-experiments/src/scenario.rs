@@ -379,6 +379,21 @@ pub fn cv_scenario(seed: u64, frames: usize) -> ClassificationScenario {
     }
 }
 
+/// The overload scenario for the streaming-ingest experiments: the CV
+/// comparison workload under a *bursty diurnal* arrival stream instead of
+/// fixed-fps frames — a MAF-like process whose slow sinusoidal baseline and
+/// 2–4× multiplicative bursts model an aggregate camera feed over a day.
+/// At its base mean rate one replica keeps up with headroom; scaled by
+/// [`ClassificationScenario::with_arrival_scale`] (the 2–8× overload axis)
+/// the bursts pile queueing delay far past the SLO, which is exactly the
+/// regime the admission controller is judged in.
+pub fn diurnal_scenario(seed: u64, frames: usize) -> ClassificationScenario {
+    let mut scenario = cv_scenario(seed, frames);
+    scenario.name = "cv/resnet50/diurnal".to_string();
+    scenario.trace = TraceKind::MafLike(30.0);
+    scenario
+}
+
 /// The paper's NLP scenario: BERT-base sentiment over the Amazon-reviews
 /// stream (weak continuity, block structure) under bursty MAF-like arrivals.
 pub fn nlp_scenario(seed: u64, requests: usize) -> ClassificationScenario {

@@ -431,11 +431,20 @@ impl ReplicaFleet {
             self.replicas,
             "one shard per replica is required"
         );
+        // Admission control may shed arrivals before they reach a replica, so
+        // shards may cover a *subset* of the shared stream — but never more,
+        // and every dispatched index must have its semantic sample.
         let dispatched: usize = shards.iter().map(|s| s.indices.len()).sum();
-        assert_eq!(
-            dispatched,
-            samples.len(),
-            "one semantic sample per dispatched arrival is required"
+        assert!(
+            dispatched <= samples.len(),
+            "more dispatched arrivals than semantic samples"
+        );
+        assert!(
+            shards
+                .iter()
+                .flat_map(|s| s.indices.iter())
+                .all(|&i| i < samples.len()),
+            "dispatched index out of the shared sample range"
         );
         FleetRun {
             replicas: self.replicas,

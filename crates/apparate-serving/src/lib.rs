@@ -16,6 +16,10 @@
 //!   and fleet-level outcome aggregation, for both classification arrival
 //!   traces and generative request streams (whole sequences dispatched,
 //!   backlog weighted by output length).
+//! * [`ingest`] — streaming front end: incremental (one-event-at-a-time)
+//!   dispatch matching the batch sharding path, bounded per-replica
+//!   admission queues, and an SLO-driven rate-slew pacing controller with
+//!   hysteresis and load shedding (bark's `RateAdjust` idiom).
 //! * [`metrics`] — latency/accuracy/throughput summaries and win computations.
 //!
 //! Entry points: [`ServingSimulator::run`] (single replica),
@@ -28,6 +32,7 @@
 pub mod batching;
 pub mod fleet;
 pub mod generative;
+pub mod ingest;
 pub mod metrics;
 pub mod platform;
 pub mod request;
@@ -42,6 +47,11 @@ pub use fleet::{
 pub use generative::{
     ContinuousBatchingConfig, GenerativeOutcome, GenerativeSimulator, StepOutcome, TokenOutcome,
     TokenPolicy, TokenRecord, TokenSemantics, TokenSlot, VanillaTokenPolicy,
+};
+pub use ingest::{
+    count_oscillations, stream_arrivals, AdmissionConfig, AdmissionController, AdmissionDecision,
+    IncrementalDispatcher, IngestOutcome, IngestSession, IngestStats, PACE_BASE_PPM, PACE_MAX_PPM,
+    PACE_MIN_PPM,
 };
 pub use metrics::{latency_cdf, tpt_cdf, LatencySummary, LatencyWins};
 pub use platform::{

@@ -105,6 +105,20 @@ pub enum EventKind {
         /// Whether the round changed any threshold.
         thresholds_changed: bool,
     },
+    /// The streaming ingest front end decided an arrival's fate: admitted to
+    /// a replica's bounded queue, or shed at the queue bound.
+    Admission {
+        /// Offered-stream position of the arrival.
+        request_id: u64,
+        /// Replica the dispatcher selected.
+        replica: u32,
+        /// Selected replica's admission-queue depth before the decision.
+        queue_depth: usize,
+        /// Whether the arrival was admitted (false = shed).
+        admitted: bool,
+        /// Pacing rate in force after the decision, ppm of the offered rate.
+        pace_ppm: u64,
+    },
 }
 
 impl EventKind {
@@ -120,6 +134,7 @@ impl EventKind {
             EventKind::SloViolation { .. } => "slo-violation",
             EventKind::LinkMessage { .. } => "link-message",
             EventKind::TuningRound { .. } => "tuning-round",
+            EventKind::Admission { .. } => "admission",
         }
     }
 }
@@ -208,6 +223,15 @@ impl TraceEvent {
                 epoch,
                 thresholds_changed,
             } => format!(",\"epoch\":{epoch},\"thresholds_changed\":{thresholds_changed}}}"),
+            EventKind::Admission {
+                request_id,
+                replica,
+                queue_depth,
+                admitted,
+                pace_ppm,
+            } => format!(
+                ",\"request_id\":{request_id},\"to_replica\":{replica},\"queue_depth\":{queue_depth},\"admitted\":{admitted},\"pace_ppm\":{pace_ppm}}}"
+            ),
         };
         head + &tail
     }
@@ -286,6 +310,16 @@ mod tests {
                     thresholds_changed: true,
                 },
                 "tuning-round",
+            ),
+            (
+                EventKind::Admission {
+                    request_id: 7,
+                    replica: 1,
+                    queue_depth: 3,
+                    admitted: true,
+                    pace_ppm: 995_000,
+                },
+                "admission",
             ),
         ];
         for (kind, name) in kinds {

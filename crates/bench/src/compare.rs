@@ -16,7 +16,14 @@ use crate::stats;
 /// `sensitivity`, `e2e`) still appear in the report but only inform — their
 /// medians are either microseconds-scale (pure noise on shared CI runners) or
 /// already covered transitively by `e2e`'s components.
-pub const REQUIRED_SUITES: &[&str] = &["tuning", "serving", "generative", "overhead", "scale"];
+pub const REQUIRED_SUITES: &[&str] = &[
+    "tuning",
+    "serving",
+    "generative",
+    "overhead",
+    "scale",
+    "ingest",
+];
 
 /// One `(suite, benchmark)` median parsed from a committed `BENCH_*.json`.
 #[derive(Debug, Clone, PartialEq)]

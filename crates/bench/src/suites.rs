@@ -1,4 +1,4 @@
-//! The ten benchmark suites, measuring the workspace's hot paths:
+//! The eleven benchmark suites, measuring the workspace's hot paths:
 //!
 //! | suite         | what it measures                                         |
 //! |---------------|----------------------------------------------------------|
@@ -12,6 +12,7 @@
 //! | `overhead`    | GPU↔controller feedback link + controller-in-the-loop    |
 //! | `scale`       | CV + generative fleet runs across replica counts + sharding |
 //! | `telemetry`   | disabled/recording sinks + JSON-lines export (`apparate-telemetry`) |
+//! | `ingest`      | streaming dispatch + SLO admission control (`apparate-serving`) |
 //!
 //! Every suite is a plain function from a [`BenchContext`] to a list of
 //! [`BenchReport`]s, registered in [`SUITES`]. Fixtures are built once per
@@ -80,6 +81,7 @@ pub const SUITES: &[(&str, SuiteFn)] = &[
     ("overhead", overhead),
     ("scale", scale),
     ("telemetry", telemetry),
+    ("ingest", ingest),
 ];
 
 /// Names of all registered suites, in run order.
@@ -736,12 +738,80 @@ fn telemetry(ctx: &BenchContext) -> Vec<BenchReport> {
     ]
 }
 
+/// The `ingest` suite: the streaming front end — incremental dispatch,
+/// passthrough streaming, SLO-driven admission (queues + rate-slew pacing +
+/// shedding), and the controller's per-tick observe step.
+fn ingest(ctx: &BenchContext) -> Vec<BenchReport> {
+    const SUITE: &str = "ingest";
+    use apparate_serving::{
+        stream_arrivals, AdmissionConfig, AdmissionController, FleetDispatch, IncrementalDispatcher,
+    };
+    use apparate_telemetry::Telemetry;
+
+    let n = ctx.scaled(16_384);
+    // An overloaded bursty stream: 100 req/s against a 15 ms batch-1 service
+    // on 2 replicas keeps the admission queues busy, so the measured path
+    // includes draining, shedding and pacing — not just the happy path.
+    let trace = ArrivalTrace::maf_like(n, 100.0, ctx.seed);
+    let service = SimDuration::from_millis(15);
+    let slo = SimDuration::from_millis(45);
+    let admission = AdmissionConfig::for_slo(slo, 3);
+
+    vec![
+        ctx.bench(SUITE, "dispatch/incremental-least-loaded-per-16k", || {
+            let mut dispatcher = IncrementalDispatcher::new(4, FleetDispatch::LeastLoaded);
+            for &at in trace.times() {
+                let replica = dispatcher.select();
+                dispatcher.commit(replica, at, service, true);
+            }
+            dispatcher.offered()
+        }),
+        ctx.bench(SUITE, "stream/passthrough-per-16k", || {
+            stream_arrivals(
+                &trace,
+                4,
+                FleetDispatch::LeastLoaded,
+                service,
+                None,
+                &Telemetry::disabled(),
+            )
+            .stats
+            .admitted
+        }),
+        ctx.bench(SUITE, "stream/admission-per-16k", || {
+            stream_arrivals(
+                &trace,
+                2,
+                FleetDispatch::LeastLoaded,
+                service,
+                Some(admission),
+                &Telemetry::disabled(),
+            )
+            .stats
+            .shed
+        }),
+        ctx.bench(SUITE, "controller/observe-per-64k", || {
+            let mut controller =
+                AdmissionController::new(admission.start_slew, admission.stop_slew);
+            let mut nudges = 0usize;
+            for i in 0..65_536i64 {
+                // Sawtooth offsets crossing both hysteresis thresholds.
+                let offset = (i % 97 - 48) * 1_000;
+                if controller.observe(offset).is_some() {
+                    nudges += 1;
+                }
+            }
+            nudges
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn suite_registry_has_the_ten_suites() {
+    fn suite_registry_has_the_eleven_suites() {
         assert_eq!(
             suite_names(),
             vec![
@@ -754,7 +824,8 @@ mod tests {
                 "e2e",
                 "overhead",
                 "scale",
-                "telemetry"
+                "telemetry",
+                "ingest"
             ]
         );
     }

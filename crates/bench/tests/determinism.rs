@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// All suites the consolidated report must cover, in run order.
-const EXPECTED_SUITES: [&str; 10] = [
+const EXPECTED_SUITES: [&str; 11] = [
     "tuning",
     "adaptation",
     "prep",
@@ -21,6 +21,7 @@ const EXPECTED_SUITES: [&str; 10] = [
     "overhead",
     "scale",
     "telemetry",
+    "ingest",
 ];
 
 /// Extract the string value of `"key":"…"` from a JSON line written by the
