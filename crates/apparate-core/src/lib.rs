@@ -36,13 +36,14 @@ pub use adjust::{
     adjust_ramps, ramp_utilities, AdjustAction, AdjustDecision, AdjustInput, RampUtility,
 };
 pub use config::ApparateConfig;
-pub use monitor::{Monitor, RequestFeedback};
+pub use monitor::{Monitor, RequestFeedback, TuningWindow};
 pub use placement::{
     evenly_spaced, feasible_sites, initial_placement, max_ramps_under_budget, InitialPlacement,
     RampSite,
 };
 pub use ramp::{ramp_param_fraction, ramp_spec, RampArchitecture, RampSpec};
 pub use threshold::{
-    greedy_tune, grid_tune, ConfigEvaluation, GreedyParams, ThresholdEvaluator, TuningOutcome,
+    greedy_tune, grid_tune, ConfigEvaluation, GreedyParams, IncrementalTuner, ThresholdEvaluator,
+    TuningOutcome,
 };
 pub use training::{train_ramps, trained_capacity, TrainedRamp, TrainingReport};

@@ -11,10 +11,29 @@
 //!   counterfactual threshold configurations without extra inference,
 //! * per-ramp exit counters since the last ramp-adjustment round, used for
 //!   utility scores and candidate exit-rate bounds (§3.3).
+//!
+//! The tuning window is columnar ([`TuningWindow`]): observations live in
+//! flat per-ramp-strided arrays with per-ramp entropy histograms maintained
+//! at ingest time, so the incremental tuner reads pre-built aggregates
+//! instead of replaying per-request records. Whole delivered
+//! [`ProfileRecord`]s are ingested with [`Monitor::record_batch`] — slice
+//! copies, no per-request allocation.
 
-use apparate_exec::RampObservation;
+use apparate_exec::{ProfileRecord, RampObservation};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of unique [`TuningWindow`] instance ids: the tuner's caches key on
+/// `(id, version)`, so two *different* windows that happen to agree on a
+/// version counter can never alias each other's cached state. Never read for
+/// anything observable — a collision-free label only, so the allocation order
+/// being scheduling-dependent is fine.
+static WINDOW_IDS: AtomicU64 = AtomicU64::new(1);
+
+fn next_window_id() -> u64 {
+    WINDOW_IDS.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Feedback recorded for one request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,14 +48,248 @@ pub struct RequestFeedback {
     pub batch_size: u32,
 }
 
+/// Buckets per ramp in the [`TuningWindow`]'s entropy histograms.
+const HIST_BUCKETS: usize = 64;
+
+#[inline]
+fn hist_bucket(entropy: f64) -> usize {
+    // Entropies are clamped to [0, 1] upstream; the min guards 1.0 exactly.
+    ((entropy.max(0.0) * HIST_BUCKETS as f64) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// The bounded tuning window in columnar form: a ring of request slots whose
+/// per-ramp entropies/agreements live in flat stride-`num_ramps` arrays,
+/// with per-ramp entropy histograms kept in sync on every push/evict.
+///
+/// The histograms are the pre-aggregated per-ramp summaries the incremental
+/// tuner consults to skip candidate threshold ranges with no recorded mass;
+/// the version counters let it key its sorted-column caches so only ramps
+/// whose window content changed since the last tune are re-derived.
+#[derive(Debug)]
+pub struct TuningWindow {
+    /// Process-unique instance label (see [`WINDOW_IDS`]).
+    id: u64,
+    num_ramps: usize,
+    capacity: usize,
+    /// Slot-major entropies: slot `s`, ramp `r` at `s * num_ramps + r`.
+    entropies: Vec<f64>,
+    /// Slot-major agreement flags, same layout as `entropies`.
+    agrees: Vec<bool>,
+    /// Per-slot deployed exit decision.
+    exited: Vec<Option<usize>>,
+    /// Per-slot released-result correctness.
+    correct: Vec<bool>,
+    /// Per-slot serving batch size.
+    batch_size: Vec<u32>,
+    /// Physical index of the oldest slot (0 until the ring first wraps).
+    head: usize,
+    len: usize,
+    /// Bumped on every mutation; cache key for whole-window consumers.
+    version: u64,
+    /// Per-ramp mutation counters; cache keys for per-ramp derived state.
+    ramp_versions: Vec<u64>,
+    /// Per-ramp entropy histograms: ramp `r` bucket `b` at
+    /// `r * HIST_BUCKETS + b`.
+    hist: Vec<u32>,
+}
+
+impl Clone for TuningWindow {
+    fn clone(&self) -> TuningWindow {
+        // A clone may diverge from its source while both keep counting
+        // versions from the same point, so it must not share the source's
+        // cache identity.
+        TuningWindow {
+            id: next_window_id(),
+            num_ramps: self.num_ramps,
+            capacity: self.capacity,
+            entropies: self.entropies.clone(),
+            agrees: self.agrees.clone(),
+            exited: self.exited.clone(),
+            correct: self.correct.clone(),
+            batch_size: self.batch_size.clone(),
+            head: self.head,
+            len: self.len,
+            version: self.version,
+            ramp_versions: self.ramp_versions.clone(),
+            hist: self.hist.clone(),
+        }
+    }
+}
+
+impl TuningWindow {
+    /// Create an empty window for `num_ramps` ramps holding up to `capacity`
+    /// requests.
+    pub fn new(num_ramps: usize, capacity: usize) -> TuningWindow {
+        assert!(capacity > 0);
+        TuningWindow {
+            id: next_window_id(),
+            num_ramps,
+            capacity,
+            entropies: vec![0.0; capacity * num_ramps],
+            agrees: vec![false; capacity * num_ramps],
+            exited: vec![None; capacity],
+            correct: vec![false; capacity],
+            batch_size: vec![0; capacity],
+            head: 0,
+            len: 0,
+            version: 0,
+            ramp_versions: vec![0; num_ramps],
+            hist: vec![0; num_ramps * HIST_BUCKETS],
+        }
+    }
+
+    /// Number of requests currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no requests are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of requests held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of ramps per request.
+    pub fn num_ramps(&self) -> usize {
+        self.num_ramps
+    }
+
+    /// Process-unique instance id; combined with [`TuningWindow::version`]
+    /// it identifies window *content* for caching.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Monotone counter bumped on every mutation: equal `(id, version)`
+    /// pairs guarantee identical window content.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Per-ramp mutation counter: unchanged between two tunes means ramp
+    /// `ramp`'s column (and anything derived from it) is still valid.
+    pub fn ramp_version(&self, ramp: usize) -> u64 {
+        self.ramp_versions[ramp]
+    }
+
+    /// Entropy observed at `ramp` for the request in physical slot `slot`.
+    ///
+    /// Physical slots `0..len()` are always valid; the ring only moves its
+    /// head once full, at which point every slot is occupied. Slot order is
+    /// *not* arrival order — evaluation over the window is order-independent.
+    #[inline]
+    pub fn entropy(&self, slot: usize, ramp: usize) -> f64 {
+        self.entropies[slot * self.num_ramps + ramp]
+    }
+
+    /// Whether `ramp`'s prediction agreed with the original model for the
+    /// request in physical slot `slot`.
+    #[inline]
+    pub fn agrees(&self, slot: usize, ramp: usize) -> bool {
+        self.agrees[slot * self.num_ramps + ramp]
+    }
+
+    /// True when the per-ramp histogram proves no recorded entropy at `ramp`
+    /// lies in `(lo, hi]`. A `false` answer is conservative: the bucket
+    /// resolution may include neighbouring mass.
+    pub fn range_provably_empty(&self, ramp: usize, lo: f64, hi: f64) -> bool {
+        let base = ramp * HIST_BUCKETS;
+        let from = hist_bucket(lo);
+        let to = hist_bucket(hi);
+        self.hist[base + from..=base + to].iter().all(|&c| c == 0)
+    }
+
+    /// Append one request's observations, evicting the oldest once full.
+    pub fn push(
+        &mut self,
+        observations: &[RampObservation],
+        exited: Option<usize>,
+        correct: bool,
+        batch_size: u32,
+    ) {
+        debug_assert_eq!(observations.len(), self.num_ramps);
+        let slot = if self.len == self.capacity {
+            let evicted = self.head;
+            // Retire the evicted slot's entropies from the histograms before
+            // overwriting them.
+            for r in 0..self.num_ramps {
+                let bucket = hist_bucket(self.entropies[evicted * self.num_ramps + r]);
+                self.hist[r * HIST_BUCKETS + bucket] -= 1;
+            }
+            self.head = (self.head + 1) % self.capacity;
+            evicted
+        } else {
+            // Invariant: the head stays at 0 until the ring first fills, so
+            // physical slots 0..len are exactly the occupied ones.
+            let slot = (self.head + self.len) % self.capacity;
+            self.len += 1;
+            slot
+        };
+        let base = slot * self.num_ramps;
+        for (r, obs) in observations.iter().enumerate() {
+            self.entropies[base + r] = obs.entropy;
+            self.agrees[base + r] = obs.agrees;
+            self.hist[r * HIST_BUCKETS + hist_bucket(obs.entropy)] += 1;
+            self.ramp_versions[r] += 1;
+        }
+        self.exited[slot] = exited;
+        self.correct[slot] = correct;
+        self.batch_size[slot] = batch_size;
+        self.version += 1;
+    }
+
+    /// Clear the window for a new ramp set of `num_ramps` ramps.
+    pub fn clear_for_ramps(&mut self, num_ramps: usize) {
+        self.num_ramps = num_ramps;
+        self.entropies = vec![0.0; self.capacity * num_ramps];
+        self.agrees = vec![false; self.capacity * num_ramps];
+        self.exited.fill(None);
+        self.correct.fill(false);
+        self.batch_size.fill(0);
+        self.head = 0;
+        self.len = 0;
+        self.version += 1;
+        self.ramp_versions = vec![0; num_ramps];
+        for v in &mut self.ramp_versions {
+            *v = self.version;
+        }
+        self.hist = vec![0; num_ramps * HIST_BUCKETS];
+    }
+
+    /// Materialise the window as per-request records, oldest first (the
+    /// full-retune oracle path and offline consumers).
+    pub fn records(&self) -> Vec<RequestFeedback> {
+        (0..self.len)
+            .map(|i| {
+                let slot = (self.head + i) % self.capacity;
+                let base = slot * self.num_ramps;
+                RequestFeedback {
+                    observations: (0..self.num_ramps)
+                        .map(|r| RampObservation {
+                            entropy: self.entropies[base + r],
+                            agrees: self.agrees[base + r],
+                        })
+                        .collect(),
+                    exited: self.exited[slot],
+                    correct: self.correct[slot],
+                    batch_size: self.batch_size[slot],
+                }
+            })
+            .collect()
+    }
+}
+
 /// The controller's monitoring state.
 #[derive(Debug, Clone)]
 pub struct Monitor {
     num_ramps: usize,
     accuracy_capacity: usize,
-    tuning_capacity: usize,
     accuracy_window: VecDeque<bool>,
-    tuning_window: VecDeque<RequestFeedback>,
+    tuning_window: TuningWindow,
     ramp_exits: Vec<u64>,
     requests_since_adjust: u64,
     total_requests: u64,
@@ -50,9 +303,8 @@ impl Monitor {
         Monitor {
             num_ramps,
             accuracy_capacity,
-            tuning_capacity,
             accuracy_window: VecDeque::with_capacity(accuracy_capacity),
-            tuning_window: VecDeque::with_capacity(tuning_capacity),
+            tuning_window: TuningWindow::new(num_ramps, tuning_capacity),
             ramp_exits: vec![0; num_ramps],
             requests_since_adjust: 0,
             total_requests: 0,
@@ -65,27 +317,57 @@ impl Monitor {
         self.num_ramps
     }
 
-    /// Record feedback for one request.
-    pub fn record(&mut self, feedback: RequestFeedback) {
-        debug_assert_eq!(feedback.observations.len(), self.num_ramps);
+    /// Shared bookkeeping for one request: everything except the tuning
+    /// window's observation columns.
+    #[inline]
+    fn note_request(&mut self, exited: Option<usize>, correct: bool) {
         if self.accuracy_window.len() == self.accuracy_capacity {
             self.accuracy_window.pop_front();
         }
-        self.accuracy_window.push_back(feedback.correct);
-        if let Some(idx) = feedback.exited {
+        self.accuracy_window.push_back(correct);
+        if let Some(idx) = exited {
             if idx < self.num_ramps {
                 self.ramp_exits[idx] += 1;
             }
         }
         self.requests_since_adjust += 1;
         self.total_requests += 1;
-        if feedback.correct {
+        if correct {
             self.total_correct += 1;
         }
-        if self.tuning_window.len() == self.tuning_capacity {
-            self.tuning_window.pop_front();
+    }
+
+    /// Record feedback for one request.
+    pub fn record(&mut self, feedback: RequestFeedback) {
+        debug_assert_eq!(feedback.observations.len(), self.num_ramps);
+        self.note_request(feedback.exited, feedback.correct);
+        self.tuning_window.push(
+            &feedback.observations,
+            feedback.exited,
+            feedback.correct,
+            feedback.batch_size,
+        );
+    }
+
+    /// Ingest one delivered [`ProfileRecord`] wholesale: every request in the
+    /// batch enters the accuracy/tuning windows exactly as if fed one by one
+    /// through [`Monitor::record`], but via slice copies into the columnar
+    /// window — no per-request `Vec` is built.
+    pub fn record_batch(&mut self, record: &ProfileRecord) {
+        debug_assert_eq!(record.num_ramps, self.num_ramps);
+        debug_assert_eq!(
+            record.observations.len(),
+            record.releases.len() * record.num_ramps
+        );
+        for (i, release) in record.releases.iter().enumerate() {
+            self.note_request(release.exit, release.correct);
+            self.tuning_window.push(
+                record.request_observations(i),
+                release.exit,
+                release.correct,
+                record.batch_size,
+            );
         }
-        self.tuning_window.push_back(feedback);
     }
 
     /// Accuracy over the short trigger window (1.0 when empty).
@@ -110,9 +392,14 @@ impl Monitor {
         self.total_correct as f64 / self.total_requests as f64
     }
 
+    /// The columnar tuning window (the incremental tuner's input).
+    pub fn window(&self) -> &TuningWindow {
+        &self.tuning_window
+    }
+
     /// The recorded tuning window (oldest first).
     pub fn tuning_records(&self) -> Vec<RequestFeedback> {
-        self.tuning_window.iter().cloned().collect()
+        self.tuning_window.records()
     }
 
     /// Number of records currently in the tuning window.
@@ -152,7 +439,7 @@ impl Monitor {
         self.num_ramps = num_ramps;
         self.ramp_exits = vec![0; num_ramps];
         self.requests_since_adjust = 0;
-        self.tuning_window.clear();
+        self.tuning_window.clear_for_ramps(num_ramps);
         // The accuracy trigger window deliberately survives: accuracy is a
         // property of released results, not of any particular ramp set.
     }
@@ -161,6 +448,8 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apparate_exec::RequestRelease;
+    use apparate_sim::SimTime;
 
     fn feedback(entropies: &[f64], exited: Option<usize>, correct: bool) -> RequestFeedback {
         RequestFeedback {
@@ -252,5 +541,134 @@ mod tests {
         let m = Monitor::new(2, 16, 64);
         assert_eq!(m.exit_rates(), vec![0.0, 0.0]);
         assert_eq!(m.cumulative_accuracy(), 1.0);
+    }
+
+    /// Build a flat ProfileRecord carrying the given per-request feedback.
+    fn profile_record(rows: &[RequestFeedback]) -> ProfileRecord {
+        let num_ramps = rows.first().map(|r| r.observations.len()).unwrap_or(0);
+        ProfileRecord {
+            completed_at: SimTime::ZERO,
+            batch_size: rows.first().map(|r| r.batch_size).unwrap_or(0),
+            num_ramps,
+            observations: rows
+                .iter()
+                .flat_map(|r| r.observations.iter().copied())
+                .collect(),
+            releases: rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RequestRelease {
+                    id: i as u64,
+                    exit: r.exited,
+                    correct: r.correct,
+                })
+                .collect(),
+            config_epoch: 0,
+        }
+    }
+
+    #[test]
+    fn record_batch_matches_per_request_ingest() {
+        let rows: Vec<RequestFeedback> = (0..20)
+            .map(|i| {
+                feedback(
+                    &[i as f64 / 20.0, 1.0 - i as f64 / 20.0],
+                    if i % 3 == 0 { Some(i % 2) } else { None },
+                    i % 5 != 0,
+                )
+            })
+            .collect();
+        let mut one_by_one = Monitor::new(2, 4, 8);
+        for row in &rows {
+            one_by_one.record(row.clone());
+        }
+        let mut batched = Monitor::new(2, 4, 8);
+        batched.record_batch(&profile_record(&rows[..12]));
+        batched.record_batch(&profile_record(&rows[12..]));
+        assert_eq!(batched.windowed_accuracy(), one_by_one.windowed_accuracy());
+        assert_eq!(batched.exit_counts(), one_by_one.exit_counts());
+        assert_eq!(batched.total_requests(), one_by_one.total_requests());
+        assert_eq!(
+            batched.cumulative_accuracy(),
+            one_by_one.cumulative_accuracy()
+        );
+        let a = batched.tuning_records();
+        let b = one_by_one.tuning_records();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.exited, y.exited);
+            assert_eq!(x.correct, y.correct);
+            assert_eq!(x.batch_size, y.batch_size);
+            for (ox, oy) in x.observations.iter().zip(y.observations.iter()) {
+                assert_eq!(ox.entropy, oy.entropy);
+                assert_eq!(ox.agrees, oy.agrees);
+            }
+        }
+        assert_eq!(batched.window().version(), one_by_one.window().version());
+    }
+
+    #[test]
+    fn window_histograms_track_pushes_and_evictions() {
+        let mut w = TuningWindow::new(1, 4);
+        for i in 0..4 {
+            w.push(
+                &[RampObservation {
+                    entropy: 0.1 + 0.2 * i as f64,
+                    agrees: true,
+                }],
+                None,
+                true,
+                1,
+            );
+        }
+        // Mass at 0.1, 0.3, 0.5, 0.7; nothing above 0.8.
+        assert!(!w.range_provably_empty(0, 0.0, 1.0));
+        assert!(w.range_provably_empty(0, 0.8, 1.0));
+        // Evict 0.1 (oldest) by pushing 0.9: low range empties, high fills.
+        w.push(
+            &[RampObservation {
+                entropy: 0.9,
+                agrees: true,
+            }],
+            None,
+            true,
+            1,
+        );
+        assert!(w.range_provably_empty(0, 0.0, 0.05));
+        assert!(!w.range_provably_empty(0, 0.8, 1.0));
+        assert_eq!(w.len(), 4);
+        // The materialised view drops the evicted record.
+        let records = w.records();
+        assert!((records[0].observations[0].entropy - 0.3).abs() < 1e-12);
+        assert!((records[3].observations[0].entropy - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_versions_advance_on_every_mutation() {
+        let mut w = TuningWindow::new(2, 4);
+        let v0 = w.version();
+        w.push(
+            &[
+                RampObservation {
+                    entropy: 0.2,
+                    agrees: true,
+                },
+                RampObservation {
+                    entropy: 0.4,
+                    agrees: false,
+                },
+            ],
+            Some(0),
+            true,
+            2,
+        );
+        assert!(w.version() > v0);
+        assert!(w.ramp_version(0) > 0 && w.ramp_version(1) > 0);
+        let v1 = w.version();
+        w.clear_for_ramps(3);
+        assert!(w.version() > v1);
+        assert_eq!(w.num_ramps(), 3);
+        assert_eq!(w.len(), 0);
+        assert!(w.range_provably_empty(2, 0.0, 1.0));
     }
 }

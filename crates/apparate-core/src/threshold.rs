@@ -13,7 +13,7 @@
 //! multiplicative-increase / multiplicative-decrease step sizing. A full grid
 //! search is also provided for the Figure 10 comparison.
 
-use crate::monitor::RequestFeedback;
+use crate::monitor::{RequestFeedback, TuningWindow};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -62,7 +62,7 @@ impl<'a> ThresholdEvaluator<'a> {
             };
         }
         let mut correct = 0usize;
-        let mut savings = 0.0f64;
+        let mut exit_counts = vec![0u64; self.savings_us.len()];
         let mut exits = 0usize;
         for record in self.records {
             let exit = record
@@ -76,7 +76,7 @@ impl<'a> ThresholdEvaluator<'a> {
                     if record.observations[idx].agrees {
                         correct += 1;
                     }
-                    savings += self.savings_us[idx];
+                    exit_counts[idx] += 1;
                 }
                 None => correct += 1,
             }
@@ -84,10 +84,24 @@ impl<'a> ThresholdEvaluator<'a> {
         let n = self.records.len() as f64;
         ConfigEvaluation {
             accuracy: correct as f64 / n,
-            mean_savings_us: savings / n,
+            mean_savings_us: mean_savings_from_counts(&exit_counts, self.savings_us, n),
             exit_rate: exits as f64 / n,
         }
     }
+}
+
+/// Fold per-ramp exit counts into a mean-savings figure. Summing in ramp
+/// index order (not record order) makes the result independent of how the
+/// window was traversed, so the incremental tuner reproduces the full
+/// evaluator bit for bit.
+pub(crate) fn mean_savings_from_counts(exit_counts: &[u64], savings_us: &[f64], n: f64) -> f64 {
+    let mut savings = 0.0f64;
+    for (count, per_exit) in exit_counts.iter().zip(savings_us.iter()) {
+        if *count > 0 {
+            savings += *count as f64 * per_exit;
+        }
+    }
+    savings / n
 }
 
 /// Result of a tuning run.
@@ -105,7 +119,7 @@ pub struct TuningOutcome {
 }
 
 /// Parameters of the greedy search.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GreedyParams {
     /// Maximum tolerated accuracy loss (e.g. 0.01).
     pub accuracy_loss_budget: f64,
@@ -203,6 +217,331 @@ pub fn greedy_tune(evaluator: &ThresholdEvaluator<'_>, params: GreedyParams) -> 
         evaluation: current,
         evaluations,
         runtime_us: start.elapsed().as_secs_f64() * 1e6,
+    }
+}
+
+/// A per-ramp slot column sorted by entropy, cached across tunes.
+#[derive(Debug, Clone, Default)]
+struct ColumnCache {
+    /// Window instance and ramp-version the column was derived at.
+    window_id: u64,
+    version: u64,
+    /// Window length the column was derived at.
+    len: usize,
+    built: bool,
+    /// Physical slot indices, ascending by this ramp's entropy.
+    slots: Vec<u32>,
+}
+
+/// The most recent tune, for whole-outcome reuse when nothing changed.
+#[derive(Debug, Clone)]
+struct CachedTune {
+    window_id: u64,
+    window_version: u64,
+    params: GreedyParams,
+    savings_us: Vec<f64>,
+    outcome: TuningOutcome,
+}
+
+/// Incremental Algorithm 1: the same greedy hill climb as [`greedy_tune`],
+/// restated over the columnar [`TuningWindow`] so each candidate is evaluated
+/// as a *delta* against the current configuration instead of a full pass over
+/// the window.
+///
+/// The trick: the greedy search only ever proposes raising a single ramp `r`
+/// from threshold `t` to `p`. The only requests whose outcome can change are
+/// those with `entropy_r ∈ (t, p]` that do not already exit at an earlier
+/// ramp — found by two binary searches on a per-ramp entropy-sorted slot
+/// column. The tuner keeps integer exit counts per ramp and per-slot exit
+/// assignments for the configuration it has committed so far, applies the
+/// delta to a scratch copy, and folds savings with the same ramp-index-order
+/// sum as [`ThresholdEvaluator::evaluate`] — so every candidate evaluation is
+/// **bit-identical** to the full evaluator's, and the search walks the exact
+/// trajectory [`greedy_tune`] walks (including counting the same number of
+/// `evaluations`). Equivalence is asserted against the full-retune oracle in
+/// this module's tests and by the `tuning-equivalence` CI gate.
+///
+/// Incrementality across tunes:
+/// * the sorted columns are cached keyed on the window's per-ramp versions —
+///   only ramps whose recorded observations changed since the last tune are
+///   re-sorted;
+/// * the window's pre-aggregated per-ramp entropy histograms prove most
+///   candidate ranges empty, skipping their scans outright (the evaluation
+///   then *is* the current one — exactly what the full evaluator returns);
+/// * a whole-outcome cache returns the previous result when the window,
+///   savings, and parameters are unchanged (re-tune triggered by an accuracy
+///   blip with no new records).
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalTuner {
+    columns: Vec<ColumnCache>,
+    /// Per-slot exit assignment under the committed thresholds.
+    current_exit: Vec<Option<usize>>,
+    /// Per-ramp exit counts under the committed thresholds.
+    exit_counts: Vec<u64>,
+    /// Candidate scratch: `exit_counts` plus the candidate's delta.
+    scratch_counts: Vec<u64>,
+    last: Option<CachedTune>,
+}
+
+impl IncrementalTuner {
+    /// Create a tuner with empty caches.
+    pub fn new() -> IncrementalTuner {
+        IncrementalTuner::default()
+    }
+
+    /// Re-derive the sorted slot columns for ramps whose window content
+    /// changed since they were last built.
+    fn ensure_columns(&mut self, window: &TuningWindow) {
+        let n = window.num_ramps();
+        self.columns.truncate(n);
+        self.columns.resize_with(n, ColumnCache::default);
+        for (r, col) in self.columns.iter_mut().enumerate() {
+            if col.built
+                && col.window_id == window.id()
+                && col.version == window.ramp_version(r)
+                && col.len == window.len()
+            {
+                continue;
+            }
+            col.slots.clear();
+            col.slots.extend(0..window.len() as u32);
+            col.slots.sort_unstable_by(|&a, &b| {
+                window
+                    .entropy(a as usize, r)
+                    .total_cmp(&window.entropy(b as usize, r))
+            });
+            col.window_id = window.id();
+            col.version = window.ramp_version(r);
+            col.len = window.len();
+            col.built = true;
+        }
+    }
+
+    /// The sub-slice of ramp `r`'s sorted column affected by raising its
+    /// threshold from `t` to `p`: slots with `entropy ∈ (t, p]`, or
+    /// `entropy ∈ [0, p]` when `t == 0` (a zero threshold means the ramp was
+    /// inactive, so even zero-entropy slots change outcome).
+    fn affected_range(&self, window: &TuningWindow, r: usize, t: f64, p: f64) -> (usize, usize) {
+        let col = &self.columns[r].slots;
+        let lo = if t == 0.0 {
+            0
+        } else {
+            col.partition_point(|&s| window.entropy(s as usize, r) <= t)
+        };
+        let hi = col.partition_point(|&s| window.entropy(s as usize, r) <= p);
+        (lo, hi)
+    }
+
+    /// Evaluate raising ramp `r` from `t` to `p` as a delta against the
+    /// committed state. Bit-identical to
+    /// `ThresholdEvaluator::evaluate(candidate)` over the same records.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_candidate(
+        &mut self,
+        window: &TuningWindow,
+        savings_us: &[f64],
+        r: usize,
+        t: f64,
+        p: f64,
+        correct: u64,
+        exits: u64,
+        current: ConfigEvaluation,
+    ) -> ConfigEvaluation {
+        let n = window.len() as f64;
+        // The histogram precheck: no recorded entropy in the raised range
+        // means no request changes outcome — the candidate evaluates to the
+        // committed evaluation, floats and all.
+        if window.range_provably_empty(r, t, p) {
+            return current;
+        }
+        let (lo, hi) = self.affected_range(window, r, t, p);
+        if lo == hi {
+            return current;
+        }
+        self.scratch_counts.clear();
+        self.scratch_counts.extend_from_slice(&self.exit_counts);
+        let mut d_correct: i64 = 0;
+        let mut d_exits: i64 = 0;
+        for &s32 in &self.columns[r].slots[lo..hi] {
+            let s = s32 as usize;
+            match self.current_exit[s] {
+                // Exits at an earlier ramp already; ramp r never sees it.
+                Some(j) if j < r => {}
+                // `j == r` is impossible (its entropy was above `t`), so the
+                // request moves its exit from a later ramp `j` up to `r`.
+                Some(j) => {
+                    self.scratch_counts[j] -= 1;
+                    self.scratch_counts[r] += 1;
+                    d_correct += window.agrees(s, r) as i64 - window.agrees(s, j) as i64;
+                }
+                // Previously ran to completion (counted correct by
+                // definition); now exits at `r`.
+                None => {
+                    self.scratch_counts[r] += 1;
+                    d_exits += 1;
+                    d_correct += window.agrees(s, r) as i64 - 1;
+                }
+            }
+        }
+        ConfigEvaluation {
+            accuracy: (correct as i64 + d_correct) as f64 / n,
+            mean_savings_us: mean_savings_from_counts(&self.scratch_counts, savings_us, n),
+            exit_rate: (exits as i64 + d_exits) as f64 / n,
+        }
+    }
+
+    /// Run Algorithm 1 over the window. Produces the same
+    /// [`TuningOutcome`] (thresholds, evaluation, evaluation count) as
+    /// `greedy_tune(&ThresholdEvaluator::new(&window.records(), savings_us), params)`,
+    /// exactly — only `runtime_us` (read by nothing) differs.
+    pub fn tune(
+        &mut self,
+        window: &TuningWindow,
+        savings_us: &[f64],
+        params: GreedyParams,
+    ) -> TuningOutcome {
+        // lint:allow(D001, reason = "wall-time metric only, never feeds a decision: runtime_us is reported in TuningOutcome and read by nothing")
+        let start = Instant::now();
+        if let Some(cache) = &self.last {
+            if cache.window_id == window.id()
+                && cache.window_version == window.version()
+                && cache.params == params
+                && cache.savings_us == savings_us
+            {
+                let mut outcome = cache.outcome.clone();
+                outcome.runtime_us = start.elapsed().as_secs_f64() * 1e6;
+                return outcome;
+            }
+        }
+        let n = window.num_ramps();
+        debug_assert_eq!(savings_us.len(), n);
+        let len = window.len();
+        self.ensure_columns(window);
+        // Committed state for the all-zero starting configuration: nothing
+        // exits, every request counts correct.
+        self.current_exit.clear();
+        self.current_exit.resize(len, None);
+        self.exit_counts.clear();
+        self.exit_counts.resize(n, 0);
+        let mut correct = len as u64;
+        let mut exits = 0u64;
+        let mut thresholds = vec![0.0f64; n];
+        let mut steps = vec![params.initial_step; n];
+        let mut evaluations = 1usize;
+        let accuracy_floor = 1.0 - params.accuracy_loss_budget;
+        let threshold_cap = params.max_threshold.clamp(0.0, 1.0);
+        // `ThresholdEvaluator::evaluate` on an empty window short-circuits to
+        // this same constant; on a non-empty window the zero configuration
+        // divides len/len = 1.0 exactly.
+        let mut current = ConfigEvaluation {
+            accuracy: 1.0,
+            mean_savings_us: 0.0,
+            exit_rate: 0.0,
+        };
+        let max_rounds = 10_000usize;
+        for _ in 0..max_rounds {
+            let mut best: Option<(usize, f64, ConfigEvaluation)> = None;
+            let mut overstepped: Vec<usize> = Vec::new();
+            let mut any_candidate = false;
+            for ramp in 0..n {
+                let proposed = (thresholds[ramp] + steps[ramp]).min(threshold_cap);
+                if proposed <= thresholds[ramp] {
+                    continue; // already saturated
+                }
+                any_candidate = true;
+                let eval = if len == 0 {
+                    current // empty window: every configuration evaluates alike
+                } else {
+                    self.evaluate_candidate(
+                        window,
+                        savings_us,
+                        ramp,
+                        thresholds[ramp],
+                        proposed,
+                        correct,
+                        exits,
+                        current,
+                    )
+                };
+                evaluations += 1;
+                if eval.accuracy + 1e-12 < accuracy_floor {
+                    overstepped.push(ramp);
+                    continue;
+                }
+                let extra_savings = eval.mean_savings_us - current.mean_savings_us;
+                let extra_loss = (current.accuracy - eval.accuracy).max(1e-6);
+                let score = extra_savings / extra_loss;
+                let better = match &best {
+                    None => true,
+                    Some((_, best_score, _)) => score > *best_score,
+                };
+                if better {
+                    best = Some((ramp, score, eval));
+                }
+            }
+            if !any_candidate {
+                break;
+            }
+            match best {
+                Some((ramp, _, eval)) => {
+                    let old = thresholds[ramp];
+                    let new = (old + steps[ramp]).min(threshold_cap);
+                    // Commit the winner: replay its delta into the live state.
+                    if len > 0 {
+                        let (lo, hi) = self.affected_range(window, ramp, old, new);
+                        for i in lo..hi {
+                            let s = self.columns[ramp].slots[i] as usize;
+                            match self.current_exit[s] {
+                                Some(j) if j < ramp => {}
+                                Some(j) => {
+                                    self.exit_counts[j] -= 1;
+                                    self.exit_counts[ramp] += 1;
+                                    correct = (correct as i64 + window.agrees(s, ramp) as i64
+                                        - window.agrees(s, j) as i64)
+                                        as u64;
+                                    self.current_exit[s] = Some(ramp);
+                                }
+                                None => {
+                                    self.exit_counts[ramp] += 1;
+                                    exits += 1;
+                                    correct =
+                                        (correct as i64 + window.agrees(s, ramp) as i64 - 1) as u64;
+                                    self.current_exit[s] = Some(ramp);
+                                }
+                            }
+                        }
+                    }
+                    thresholds[ramp] = new;
+                    steps[ramp] *= 2.0;
+                    current = eval;
+                }
+                None => {
+                    if steps.iter().all(|&s| s <= params.smallest_step) {
+                        break;
+                    }
+                    for &ramp in &overstepped {
+                        steps[ramp] /= 2.0;
+                    }
+                    if overstepped.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        let outcome = TuningOutcome {
+            thresholds,
+            evaluation: current,
+            evaluations,
+            runtime_us: start.elapsed().as_secs_f64() * 1e6,
+        };
+        self.last = Some(CachedTune {
+            window_id: window.id(),
+            window_version: window.version(),
+            params,
+            savings_us: savings_us.to_vec(),
+            outcome: outcome.clone(),
+        });
+        outcome
     }
 }
 
@@ -391,6 +730,152 @@ mod tests {
         let grid = grid_tune(&evaluator, 0.01, 0.25);
         // 5 levels per ramp (0, .25, .5, .75, 1.0) over 2 ramps = 25 configs.
         assert_eq!(grid.evaluations, 25);
+    }
+
+    /// Like [`window`] but with `k` ramps at staggered depths.
+    fn window_k(n: usize, seed: u64, k: usize) -> Vec<RequestFeedback> {
+        let rng = DeterministicRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let difficulty = rng.unit_draw(&[i as u64, 1]);
+                let noise = rng.normal_draw(&[i as u64, 2]) * 0.05;
+                RequestFeedback {
+                    observations: (0..k)
+                        .map(|r| {
+                            let margin = 0.45 + 0.12 * r as f64 - difficulty + noise;
+                            RampObservation {
+                                entropy: (1.0 / (1.0 + (margin / 0.1).exp())).clamp(0.0, 1.0),
+                                agrees: margin > 0.0,
+                            }
+                        })
+                        .collect(),
+                    exited: None,
+                    correct: true,
+                    batch_size: 1,
+                }
+            })
+            .collect()
+    }
+
+    /// Load records into a `num_ramps`-wide columnar window (capacity =
+    /// record count).
+    fn window_of(records: &[RequestFeedback], num_ramps: usize) -> crate::monitor::TuningWindow {
+        let mut w = crate::monitor::TuningWindow::new(num_ramps, records.len().max(1));
+        for r in records {
+            w.push(&r.observations, r.exited, r.correct, r.batch_size);
+        }
+        w
+    }
+
+    /// The incremental tuner must reproduce the full-retune oracle *exactly*:
+    /// same thresholds, same (bit-identical) evaluation, same evaluation
+    /// count.
+    fn assert_matches_oracle(
+        tuner: &mut IncrementalTuner,
+        records: &[RequestFeedback],
+        savings: &[f64],
+        params: GreedyParams,
+    ) {
+        let w = window_of(records, savings.len());
+        let fast = tuner.tune(&w, savings, params);
+        let oracle = greedy_tune(&ThresholdEvaluator::new(records, savings), params);
+        assert_eq!(fast.thresholds, oracle.thresholds);
+        assert_eq!(fast.evaluation, oracle.evaluation);
+        assert_eq!(fast.evaluations, oracle.evaluations);
+    }
+
+    #[test]
+    fn incremental_matches_oracle_on_every_fixture() {
+        let mut tuner = IncrementalTuner::new();
+        for seed in [1, 2, 3, 4, 5, 7, 11] {
+            for n in [1, 17, 200, 500] {
+                for budget in [0.005, 0.01, 0.05] {
+                    for cap in [0.2, 0.35, 1.0] {
+                        let params = GreedyParams {
+                            accuracy_loss_budget: budget,
+                            max_threshold: cap,
+                            ..Default::default()
+                        };
+                        let records = window(n, seed);
+                        assert_matches_oracle(&mut tuner, &records, &SAVINGS, params);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oracle_with_many_ramps() {
+        let savings = [20_000.0, 14_000.0, 9_000.0, 5_000.0, 2_000.0];
+        let mut tuner = IncrementalTuner::new();
+        for seed in [3, 8, 21] {
+            let records = window_k(400, seed, savings.len());
+            assert_matches_oracle(&mut tuner, &records, &savings, GreedyParams::default());
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oracle_on_empty_window() {
+        let mut tuner = IncrementalTuner::new();
+        assert_matches_oracle(&mut tuner, &[], &SAVINGS, GreedyParams::default());
+    }
+
+    #[test]
+    fn incremental_tuner_caches_unchanged_windows() {
+        let records = window(300, 9);
+        let w = window_of(&records, SAVINGS.len());
+        let mut tuner = IncrementalTuner::new();
+        let first = tuner.tune(&w, &SAVINGS, GreedyParams::default());
+        let again = tuner.tune(&w, &SAVINGS, GreedyParams::default());
+        assert_eq!(first.thresholds, again.thresholds);
+        assert_eq!(first.evaluation, again.evaluation);
+        assert_eq!(first.evaluations, again.evaluations);
+        // Changing the parameters must bypass the cache and still match the
+        // oracle.
+        let tight = GreedyParams {
+            accuracy_loss_budget: 0.002,
+            ..Default::default()
+        };
+        let fast = tuner.tune(&w, &SAVINGS, tight);
+        let oracle = greedy_tune(&ThresholdEvaluator::new(&records, &SAVINGS), tight);
+        assert_eq!(fast.thresholds, oracle.thresholds);
+        assert_eq!(fast.evaluation, oracle.evaluation);
+    }
+
+    #[test]
+    fn incremental_tuner_tracks_a_sliding_window() {
+        // One tuner, one ring: keep pushing past capacity and re-tune after
+        // each eviction burst — every tune must match a fresh oracle over the
+        // ring's current contents.
+        let stream = window(600, 13);
+        let mut w = crate::monitor::TuningWindow::new(2, 128);
+        let mut tuner = IncrementalTuner::new();
+        for (i, r) in stream.iter().enumerate() {
+            w.push(&r.observations, r.exited, r.correct, r.batch_size);
+            if i % 150 == 149 {
+                let fast = tuner.tune(&w, &SAVINGS, GreedyParams::default());
+                let records = w.records();
+                let oracle = greedy_tune(
+                    &ThresholdEvaluator::new(&records, &SAVINGS),
+                    Default::default(),
+                );
+                assert_eq!(fast.thresholds, oracle.thresholds);
+                assert_eq!(fast.evaluation, oracle.evaluation);
+                assert_eq!(fast.evaluations, oracle.evaluations);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_tuner_survives_ramp_set_changes() {
+        // Re-using one tuner across windows of different widths (a ramp-set
+        // change clears the window) must not leave stale columns behind.
+        let mut tuner = IncrementalTuner::new();
+        let wide = window_k(200, 5, 4);
+        let savings4 = [12_000.0, 8_000.0, 5_000.0, 2_500.0];
+        assert_matches_oracle(&mut tuner, &wide, &savings4, GreedyParams::default());
+        let narrow = window(200, 5);
+        assert_matches_oracle(&mut tuner, &narrow, &SAVINGS, GreedyParams::default());
     }
 
     #[test]

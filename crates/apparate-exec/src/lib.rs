@@ -25,6 +25,6 @@ pub use engine::{BatchExecution, ExecutionPlan, RampPlacement, RequestObservatio
 pub use gpu::{GpuDevice, GpuError};
 pub use profiler::{
     feedback_link, FeedbackReceiver, FeedbackSender, LinkCost, LinkStats, OverheadReport,
-    ProfileRecord, ThresholdUpdate, WirePayload, RAMP_DEFINITION_BYTES,
+    ProfileRecord, RequestRelease, ThresholdUpdate, WirePayload, RAMP_DEFINITION_BYTES,
 };
 pub use semantics::{RampObservation, SampleSemantics, SemanticsModel};

@@ -36,26 +36,51 @@ pub trait WirePayload {
 }
 
 /// One batch worth of profiling data streamed from the GPU to the controller.
+///
+/// Observations are stored flat (request-major, `num_ramps` per request)
+/// rather than as one `Vec` per request: a record is a single contiguous
+/// allocation however large the batch, which is what keeps the per-batch
+/// producer path and the controller's batched ingestion allocation-free per
+/// request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProfileRecord {
     /// When the batch finished on the GPU.
     pub completed_at: SimTime,
     /// Batch size.
     pub batch_size: u32,
-    /// Per-request, per-active-ramp observations (request-major).
-    pub observations: Vec<Vec<RampObservation>>,
-    /// Request identifiers, parallel to `observations`.
-    pub request_ids: Vec<u64>,
-    /// Ramp index each request's result exited at (None = ran to the head),
-    /// parallel to `observations`.
-    pub exits: Vec<Option<usize>>,
-    /// Whether each released result matched the original model, parallel to
-    /// `observations`.
-    pub corrects: Vec<bool>,
+    /// Number of active ramps per request (the row stride of `observations`).
+    pub num_ramps: usize,
+    /// Flat request-major observations: request `i`'s ramp `r` observation is
+    /// at index `i * num_ramps + r`.
+    pub observations: Vec<RampObservation>,
+    /// Per-request release metadata, in batch order; `observations` holds
+    /// `num_ramps` entries per release. One packed vector rather than
+    /// parallel id/exit/correct vectors, so a record costs two allocations
+    /// however large the batch.
+    pub releases: Vec<RequestRelease>,
     /// Configuration epoch the GPU was running when it produced this record
     /// (incremented by every applied [`ThresholdUpdate`]). Lets the controller
     /// discard records whose ramp indices predate a ramp-set change.
     pub config_epoch: u64,
+}
+
+/// Release metadata for one request in a profiled batch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RequestRelease {
+    /// Request identifier.
+    pub id: u64,
+    /// Ramp index the result exited at (`None` = ran to the head).
+    pub exit: Option<usize>,
+    /// Whether the released result matched the original model.
+    pub correct: bool,
+}
+
+impl ProfileRecord {
+    /// Request `i`'s per-ramp observations (a `num_ramps`-long row).
+    #[inline]
+    pub fn request_observations(&self, i: usize) -> &[RampObservation] {
+        &self.observations[i * self.num_ramps..(i + 1) * self.num_ramps]
+    }
 }
 
 impl WirePayload for ProfileRecord {
@@ -64,13 +89,7 @@ impl WirePayload for ProfileRecord {
     /// (request, ramp) observation, 10 bytes of per-request release metadata
     /// (id + exit + agreement) and a small header.
     fn wire_bytes(&self) -> u64 {
-        let per_obs = 8u64;
-        let obs: u64 = self
-            .observations
-            .iter()
-            .map(|r| r.len() as u64 * per_obs)
-            .sum();
-        64 + obs + self.request_ids.len() as u64 * 10
+        64 + self.observations.len() as u64 * 8 + self.releases.len() as u64 * 10
     }
 }
 
@@ -325,16 +344,20 @@ impl<T> FeedbackReceiver<T> {
             // are conceptually still on the wire and kept locally.
             self.pending.push(item);
         }
-        let mut ready: Vec<InFlight<T>> = Vec::new();
-        let mut still_pending: Vec<InFlight<T>> = Vec::new();
-        for item in self.pending.drain(..) {
-            if item.0 <= now {
-                ready.push(item);
+        // Partition in place: ready messages move to the tail of `pending`
+        // (internal order is irrelevant — delivery order is imposed by the
+        // sort below), so the only allocation per poll is the returned batch.
+        let mut split = self.pending.len();
+        let mut i = 0;
+        while i < split {
+            if self.pending[i].0 <= now {
+                split -= 1;
+                self.pending.swap(i, split);
             } else {
-                still_pending.push(item);
+                i += 1;
             }
         }
-        self.pending = still_pending;
+        let ready = &mut self.pending[split..];
         ready.sort_by_key(|(deliver_at, seq, _)| (*deliver_at, *seq));
         // Runtime counterpart of the static ordering rules (apparate-lint
         // W001): everything handed out is actually delivered by `now`, and
@@ -351,7 +374,10 @@ impl<T> FeedbackReceiver<T> {
                 .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
             "feedback delivery is not strictly ordered by (deliver_at, seq)"
         );
-        ready.into_iter().map(|(_, _, payload)| payload).collect()
+        self.pending
+            .drain(split..)
+            .map(|(_, _, payload)| payload)
+            .collect()
     }
 
     /// Number of messages waiting on the wire (received from the channel but
@@ -374,19 +400,21 @@ mod tests {
         ProfileRecord {
             completed_at: SimTime::from_millis(at_ms),
             batch_size: batch,
+            num_ramps: 2,
             observations: vec![
-                vec![
-                    RampObservation {
-                        entropy: 0.2,
-                        agrees: true
-                    };
-                    2
-                ];
-                batch as usize
+                RampObservation {
+                    entropy: 0.2,
+                    agrees: true
+                };
+                2 * batch as usize
             ],
-            request_ids: (0..batch as u64).collect(),
-            exits: vec![None; batch as usize],
-            corrects: vec![true; batch as usize],
+            releases: (0..batch as u64)
+                .map(|id| RequestRelease {
+                    id,
+                    exit: None,
+                    correct: true,
+                })
+                .collect(),
             config_epoch: 0,
         }
     }
@@ -453,22 +481,25 @@ mod tests {
         let rec = ProfileRecord {
             completed_at: SimTime::ZERO,
             batch_size: 16,
+            num_ramps: 4,
             observations: vec![
-                vec![
-                    RampObservation {
-                        entropy: 0.1,
-                        agrees: true
-                    };
-                    4
-                ];
-                16
+                RampObservation {
+                    entropy: 0.1,
+                    agrees: true
+                };
+                4 * 16
             ],
-            request_ids: (0..16).collect(),
-            exits: vec![None; 16],
-            corrects: vec![true; 16],
+            releases: (0..16)
+                .map(|id| RequestRelease {
+                    id,
+                    exit: None,
+                    correct: true,
+                })
+                .collect(),
             config_epoch: 0,
         };
         assert!(rec.wire_bytes() < 2048, "wire bytes {}", rec.wire_bytes());
+        assert_eq!(rec.request_observations(3).len(), 4);
     }
 
     #[test]

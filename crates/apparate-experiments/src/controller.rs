@@ -30,12 +30,12 @@ use apparate_baselines::{
     exit_outcome, offline_tuned_thresholds, per_ramp_savings_us, RampDeployment,
 };
 use apparate_core::{
-    adjust_ramps, greedy_tune, ramp_utilities, AdjustInput, ApparateConfig, GreedyParams, Monitor,
-    RequestFeedback, ThresholdEvaluator, TrainedRamp,
+    adjust_ramps, greedy_tune, ramp_utilities, AdjustInput, ApparateConfig, GreedyParams,
+    IncrementalTuner, Monitor, ThresholdEvaluator, TrainedRamp,
 };
 use apparate_exec::{
     feedback_link, ExecutionPlan, FeedbackReceiver, FeedbackSender, LinkCost, OverheadReport,
-    ProfileRecord, SampleSemantics, ThresholdUpdate,
+    ProfileRecord, RequestRelease, SampleSemantics, ThresholdUpdate,
 };
 use apparate_serving::{
     BatchOutcome, BatchProfile, ExitPolicy, Request, StepOutcome, TokenPolicy, TokenSlot,
@@ -129,14 +129,22 @@ impl GpuHalf {
             .iter()
             .map(|obs| exit_outcome(&self.plan, obs, &self.thresholds, b))
             .collect();
+        let num_ramps = self.plan.num_ramps();
+        let mut observations = Vec::with_capacity(samples.len() * num_ramps);
+        for obs in &exec.per_request {
+            observations.extend_from_slice(&obs.ramp_observations);
+        }
         let profile = BatchProfile {
-            observations: exec
-                .per_request
+            num_ramps,
+            observations,
+            releases: outcomes
                 .iter()
-                .map(|obs| obs.ramp_observations.clone())
+                .map(|o| RequestRelease {
+                    id: 0,
+                    exit: o.exit_ramp,
+                    correct: o.correct,
+                })
                 .collect(),
-            exits: outcomes.iter().map(|o| o.exit_ramp).collect(),
-            corrects: outcomes.iter().map(|o| o.correct).collect(),
             config_epoch: self.config_epoch,
         };
         (
@@ -178,6 +186,11 @@ struct ControllerHalf {
     adjust_requests: u64,
     needs_tune: bool,
     records_since_tune: usize,
+    /// The incremental Algorithm 1 implementation (delta evaluation over the
+    /// monitor's columnar window). Produces the exact configurations the
+    /// full greedy re-tune would; `config.full_retune` switches tuning back
+    /// to the materialising oracle path.
+    tuner: IncrementalTuner,
     /// Epoch of the last issued update; every publish bumps it.
     config_epoch: u64,
     /// Records stamped with an epoch below this predate a ramp-set change and
@@ -262,21 +275,19 @@ impl ControllerHalf {
                 continue;
             }
             self.stats.records_ingested += 1;
-            for i in 0..record.request_ids.len() {
-                self.monitor.record(RequestFeedback {
-                    observations: record.observations[i].clone(),
-                    exited: record.exits[i],
-                    correct: record.corrects[i],
-                    batch_size: record.batch_size,
-                });
-                if let Some(ramp) = record.exits[i] {
+            // Batched ingestion: the whole record lands in the monitor's
+            // columnar window via slice copies, then the adjustment counters
+            // absorb the per-request exits as plain integer loops.
+            self.monitor.record_batch(&record);
+            for release in &record.releases {
+                if let Some(ramp) = release.exit {
                     if ramp < self.adjust_exits.len() {
                         self.adjust_exits[ramp] += 1;
                     }
                 }
-                self.adjust_requests += 1;
-                self.records_since_tune += 1;
             }
+            self.adjust_requests += record.releases.len() as u64;
+            self.records_since_tune += record.releases.len();
         }
         self.telemetry
             .gauge(now, "link_up_in_flight", self.profile_rx.in_flight() as f64);
@@ -302,13 +313,20 @@ impl ControllerHalf {
         if !initial_due && !violation_due {
             return;
         }
-        let records = self.monitor.tuning_records();
-        if records.is_empty() {
+        if self.monitor.tuning_window_len() == 0 {
             return;
         }
         let savings = per_ramp_savings_us(&self.plan, self.reference_batch);
-        let evaluator = ThresholdEvaluator::new(&records, &savings);
-        let outcome = greedy_tune(&evaluator, self.tuning_params());
+        let outcome = if self.config.full_retune {
+            // The materialising oracle: rebuild per-request records and run
+            // the reference greedy search over them.
+            let records = self.monitor.tuning_records();
+            let evaluator = ThresholdEvaluator::new(&records, &savings);
+            greedy_tune(&evaluator, self.tuning_params())
+        } else {
+            self.tuner
+                .tune(self.monitor.window(), &savings, self.tuning_params())
+        };
         let thresholds_changed = self.thresholds != outcome.thresholds;
         self.thresholds = outcome.thresholds;
         self.needs_tune = false;
@@ -494,6 +512,7 @@ impl CoordinatedCore {
                 adjust_requests: 0,
                 needs_tune: true,
                 records_since_tune: 0,
+                tuner: IncrementalTuner::new(),
                 config_epoch: 0,
                 min_ingest_epoch: 0,
                 profile_rx,
@@ -570,6 +589,9 @@ impl CoordinatedCore {
 pub struct ApparatePolicy {
     core: CoordinatedCore,
     name: String,
+    /// Reusable per-batch semantics buffer: `process_batch` runs once per
+    /// served batch, so its staging allocation must not be per-call.
+    samples_scratch: Vec<SampleSemantics>,
 }
 
 impl ApparatePolicy {
@@ -594,6 +616,7 @@ impl ApparatePolicy {
         ApparatePolicy {
             core: CoordinatedCore::new(deployment, config, reference_batch, true, link),
             name: "apparate".to_string(),
+            samples_scratch: Vec::new(),
         }
     }
 
@@ -674,8 +697,10 @@ impl ApparatePolicy {
 
 impl ExitPolicy for ApparatePolicy {
     fn process_batch(&mut self, batch: &[Request], batch_start: SimTime) -> BatchOutcome {
-        let samples: Vec<SampleSemantics> = batch.iter().map(|r| r.semantics).collect();
-        let (gpu_time, per_request, profile) = self.core.step(&samples, batch_start);
+        self.samples_scratch.clear();
+        self.samples_scratch
+            .extend(batch.iter().map(|r| r.semantics));
+        let (gpu_time, per_request, profile) = self.core.step(&self.samples_scratch, batch_start);
         BatchOutcome {
             gpu_time,
             per_request,
@@ -706,6 +731,9 @@ impl ExitPolicy for ApparatePolicy {
 pub struct ApparateTokenPolicy {
     core: CoordinatedCore,
     name: String,
+    /// Reusable per-step semantics buffer: the decode loop calls
+    /// `process_step` once per token step, so staging must not allocate.
+    samples_scratch: Vec<SampleSemantics>,
 }
 
 impl ApparateTokenPolicy {
@@ -729,6 +757,7 @@ impl ApparateTokenPolicy {
         ApparateTokenPolicy {
             core: CoordinatedCore::new(deployment, config, reference_batch, true, link),
             name: "apparate".to_string(),
+            samples_scratch: Vec::new(),
         }
     }
 
@@ -805,8 +834,10 @@ impl ApparateTokenPolicy {
 
 impl TokenPolicy for ApparateTokenPolicy {
     fn process_step(&mut self, slots: &[TokenSlot], step_start: SimTime) -> StepOutcome {
-        let samples: Vec<SampleSemantics> = slots.iter().map(|s| s.semantics).collect();
-        let (_full_pass, outcomes, profile) = self.core.step(&samples, step_start);
+        self.samples_scratch.clear();
+        self.samples_scratch
+            .extend(slots.iter().map(|s| s.semantics));
+        let (_full_pass, outcomes, profile) = self.core.step(&self.samples_scratch, step_start);
         let per_token: Vec<apparate_serving::TokenOutcome> = outcomes
             .into_iter()
             .map(|o| apparate_serving::TokenOutcome {
@@ -872,7 +903,7 @@ mod tests {
         let completed = now + out.gpu_time;
         if let Some(profile) = out.profile.clone() {
             let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
-            sender.send(profile.into_record(completed, ids), completed);
+            sender.send(profile.into_record(completed, &ids), completed);
         }
         (out, completed)
     }
@@ -1037,7 +1068,7 @@ mod tests {
         let completed = now + out.gpu_time;
         if let Some(profile) = out.profile.clone() {
             let ids: Vec<u64> = step_slots.iter().map(|s| s.request_id).collect();
-            sender.send(profile.into_record(completed, ids), completed);
+            sender.send(profile.into_record(completed, &ids), completed);
         }
         (out, completed)
     }

@@ -297,6 +297,11 @@ impl GenerativeSimulator {
             sorted.into_iter().collect()
         };
         let mut active: Vec<ActiveSequence> = Vec::new();
+        // Reused across decode steps: the slot staging buffer and the
+        // profile id scratch would otherwise be fresh allocations per step
+        // (the hottest loop in the simulator).
+        let mut slots: Vec<TokenSlot> = Vec::new();
+        let mut profile_ids: Vec<u64> = Vec::new();
         let mut tokens: Vec<TokenRecord> = Vec::new();
         let mut batch_sizes: Vec<u32> = Vec::new();
         let mut gpu_busy = SimDuration::ZERO;
@@ -339,21 +344,23 @@ impl GenerativeSimulator {
                 }
             }
             // One decode step over all active sequences.
-            let slots: Vec<TokenSlot> = active
-                .iter()
-                .map(|s| TokenSlot {
-                    request_id: s.request_id,
-                    token_index: s.next_token,
-                    semantics: semantics.token(s.request_id, s.next_token),
-                })
-                .collect();
+            slots.clear();
+            slots.extend(active.iter().map(|s| TokenSlot {
+                request_id: s.request_id,
+                token_index: s.next_token,
+                semantics: semantics.token(s.request_id, s.next_token),
+            }));
             batch_sizes.push(slots.len() as u32);
             let outcome = policy.process_step(&slots, now);
             debug_assert_eq!(outcome.per_token.len(), slots.len());
             if let (Some(sender), Some(profile)) = (feedback, outcome.profile) {
                 let completed_at = now + outcome.gpu_time;
-                let ids: Vec<u64> = slots.iter().map(|s| s.request_id).collect();
-                sender.send(profile.into_record(completed_at, ids), completed_at);
+                profile_ids.clear();
+                profile_ids.extend(slots.iter().map(|s| s.request_id));
+                sender.send(
+                    profile.into_record(completed_at, &profile_ids),
+                    completed_at,
+                );
             }
             gpu_busy += outcome.gpu_time;
             let traced = self.telemetry.is_enabled();

@@ -12,7 +12,9 @@
 use crate::batching::{BatchDecision, BatchingPolicy};
 use crate::request::{Request, RequestRecord};
 use crate::traces::ArrivalTrace;
-use apparate_exec::{FeedbackSender, LinkStats, ProfileRecord, RampObservation, SampleSemantics};
+use apparate_exec::{
+    FeedbackSender, LinkStats, ProfileRecord, RampObservation, RequestRelease, SampleSemantics,
+};
 use apparate_sim::{EventQueue, SimDuration, SimTime};
 use apparate_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -28,26 +30,36 @@ const ROLLING_EXIT_WINDOW: usize = 256;
 /// stream); policies without a controller return `None` and nothing is sent.
 #[derive(Debug, Clone, Default)]
 pub struct BatchProfile {
-    /// Per-request, per-active-ramp observations (request-major).
-    pub observations: Vec<Vec<RampObservation>>,
-    /// Ramp index each request's result exited at, parallel to `observations`.
-    pub exits: Vec<Option<usize>>,
-    /// Whether each released result matched the original model.
-    pub corrects: Vec<bool>,
+    /// Number of active ramps per request (the row stride of `observations`).
+    pub num_ramps: usize,
+    /// Flat request-major observations: request `i`'s ramp `r` observation is
+    /// at index `i * num_ramps + r` (one contiguous allocation per batch).
+    pub observations: Vec<RampObservation>,
+    /// Per-request release metadata in batch order. The producing policy does
+    /// not know request ids, so it leaves `id` zeroed; [`into_record`]
+    /// stamps the real ids in place when the platform publishes the batch.
+    ///
+    /// [`into_record`]: BatchProfile::into_record
+    pub releases: Vec<RequestRelease>,
     /// Configuration epoch the GPU was running when it produced the batch.
     pub config_epoch: u64,
 }
 
 impl BatchProfile {
-    /// Stamp the profile into a wire-ready [`ProfileRecord`].
-    pub fn into_record(self, completed_at: SimTime, request_ids: Vec<u64>) -> ProfileRecord {
+    /// Stamp the profile into a wire-ready [`ProfileRecord`], filling in the
+    /// request ids (batch order) the policy did not know. Borrows the ids so
+    /// the caller can reuse one scratch buffer across batches.
+    pub fn into_record(mut self, completed_at: SimTime, request_ids: &[u64]) -> ProfileRecord {
+        debug_assert_eq!(self.releases.len(), request_ids.len());
+        for (release, id) in self.releases.iter_mut().zip(request_ids) {
+            release.id = *id;
+        }
         ProfileRecord {
             completed_at,
             batch_size: request_ids.len() as u32,
+            num_ramps: self.num_ramps,
             observations: self.observations,
-            request_ids,
-            exits: self.exits,
-            corrects: self.corrects,
+            releases: self.releases,
             config_epoch: self.config_epoch,
         }
     }
@@ -342,6 +354,9 @@ impl ServingSimulator {
         // Rolling early-exit window behind the `exit_rate_rolling` gauge;
         // only maintained when a recording handle is attached.
         let mut rolling_exits: VecDeque<bool> = VecDeque::new();
+        // Scratch for the request ids stamped into each published profile,
+        // reused across batches.
+        let mut profile_ids: Vec<u64> = Vec::new();
         let mut rolling_hits = 0usize;
 
         while let Some((now, event)) = events.pop() {
@@ -386,8 +401,12 @@ impl ServingSimulator {
                         // serving; the controller sees it one link latency
                         // later (§3, §4.5).
                         let completed_at = now + outcome.gpu_time;
-                        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
-                        sender.send(profile.into_record(completed_at, ids), completed_at);
+                        profile_ids.clear();
+                        profile_ids.extend(batch.iter().map(|r| r.id));
+                        sender.send(
+                            profile.into_record(completed_at, &profile_ids),
+                            completed_at,
+                        );
                     }
                     batch_sizes.push(size);
                     total_gpu_busy += outcome.gpu_time;

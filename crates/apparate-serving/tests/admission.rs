@@ -255,10 +255,9 @@ fn profile_record(completed_at: SimTime) -> ProfileRecord {
     ProfileRecord {
         completed_at,
         batch_size: 1,
+        num_ramps: 0,
         observations: Vec::new(),
-        request_ids: Vec::new(),
-        exits: Vec::new(),
-        corrects: Vec::new(),
+        releases: Vec::new(),
         config_epoch: 0,
     }
 }

@@ -207,11 +207,13 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let baseline = parse_baseline(&text);
-        if baseline.is_empty() {
-            eprintln!("bench: baseline {path} holds no parseable benchmark reports");
-            std::process::exit(1);
-        }
+        let baseline = match parse_baseline(&text) {
+            Ok(baseline) => baseline,
+            Err(error) => {
+                eprintln!("bench: baseline {path}: {error}");
+                std::process::exit(1);
+            }
+        };
         let verdict = compare::compare(&baseline, &reports, args.max_regression_pct);
         println!("\nregression gate vs {path}:");
         print!("{}", verdict.render_text());
@@ -240,8 +242,8 @@ fn main() {
                     );
                 }
             }
-            for suite in &verdict.missing_required {
-                eprintln!("bench: required suite {suite} missing from the run or the baseline");
+            for error in verdict.gate_errors() {
+                eprintln!("bench: {error}");
             }
             std::process::exit(1);
         }
@@ -249,5 +251,13 @@ fn main() {
             "gate passed: no required suite inflated more than {:.0}%",
             args.max_regression_pct
         );
+        for row in verdict.improvements() {
+            println!(
+                "warning: required suite {} now runs {:.1}% below the committed baseline; \
+                 regenerate BENCH_apparate.json so the gate re-anchors",
+                row.suite,
+                -row.change_pct(),
+            );
+        }
     }
 }

@@ -36,6 +36,50 @@ pub struct BaselineEntry {
     pub median_us: f64,
 }
 
+/// Why the regression gate cannot produce a verdict. Each failure mode is
+/// named so CI logs say exactly which contract the baseline (or the fresh
+/// run) broke, instead of silently passing a hollow comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// The baseline file contained no parseable benchmark reports at all —
+    /// an empty or truncated `BENCH_*.json` must not pass as "no regression".
+    EmptyBaseline,
+    /// A baseline benchmark report carried a `null`, `NaN` or infinite
+    /// median: the committed run was broken and cannot anchor the gate.
+    NonFiniteMedian {
+        /// Suite of the broken report.
+        suite: String,
+        /// Benchmark of the broken report.
+        benchmark: String,
+    },
+    /// A required suite present in the baseline has no counterpart in the
+    /// fresh run (or vice versa) — a hole in the perf trajectory.
+    MissingRequiredSuite {
+        /// The absent suite.
+        suite: String,
+    },
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::EmptyBaseline => {
+                write!(f, "baseline holds no parseable benchmark reports")
+            }
+            GateError::NonFiniteMedian { suite, benchmark } => write!(
+                f,
+                "baseline report {suite}/{benchmark} has a null or non-finite median"
+            ),
+            GateError::MissingRequiredSuite { suite } => write!(
+                f,
+                "required suite {suite} is missing from the run or the baseline"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
 /// Extract the string value of `"key":"..."` from one JSON line, undoing the
 /// escapes [`crate::report::escape_json`] emits. `None` if the key is absent.
 fn string_field(line: &str, key: &str) -> Option<String> {
@@ -80,18 +124,32 @@ fn number_field(line: &str, key: &str) -> Option<f64> {
 }
 
 /// Parse a committed `BENCH_*.json` back into per-benchmark medians. Lines
-/// without a `suite`/`benchmark`/`median_us` triple (the schema header, the
-/// overhead-link summary) are skipped.
-pub fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
-    text.lines()
-        .filter_map(|line| {
-            Some(BaselineEntry {
-                suite: string_field(line, "suite")?,
-                benchmark: string_field(line, "benchmark")?,
-                median_us: number_field(line, "median_us")?,
-            })
-        })
-        .collect()
+/// without a `suite`/`benchmark` pair (the schema header, the overhead-link
+/// summary) are skipped; a benchmark line whose median is `null` or
+/// non-finite is a [`GateError::NonFiniteMedian`], and a file yielding no
+/// reports at all is a [`GateError::EmptyBaseline`] — neither may silently
+/// pass the gate as a baseline.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, GateError> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let (Some(suite), Some(benchmark)) =
+            (string_field(line, "suite"), string_field(line, "benchmark"))
+        else {
+            continue;
+        };
+        match number_field(line, "median_us") {
+            Some(median_us) => entries.push(BaselineEntry {
+                suite,
+                benchmark,
+                median_us,
+            }),
+            None => return Err(GateError::NonFiniteMedian { suite, benchmark }),
+        }
+    }
+    if entries.is_empty() {
+        return Err(GateError::EmptyBaseline);
+    }
+    Ok(entries)
 }
 
 /// One suite's before/after aggregate in a [`RegressionReport`].
@@ -263,12 +321,39 @@ impl RegressionReport {
                 || row.worst_benchmark_pct() > self.benchmark_tolerance_pct())
     }
 
+    /// Whether one suite row improved past the tolerance: its median dropped
+    /// by more than the gate's regression threshold. Not a failure — but the
+    /// committed baseline no longer describes the code, so the gate would
+    /// wave through a later regression back to the stale anchor.
+    fn row_improved(&self, row: &SuiteComparison) -> bool {
+        row.required && row.change_pct() < -self.max_regression_pct
+    }
+
+    /// Required suites whose median dropped more than the tolerance below the
+    /// committed baseline — the author should regenerate the baseline.
+    pub fn improvements(&self) -> Vec<&SuiteComparison> {
+        self.suites
+            .iter()
+            .filter(|row| self.row_improved(row))
+            .collect()
+    }
+
     /// Required suites whose median (or single worst benchmark) inflated past
     /// the tolerance.
     pub fn regressions(&self) -> Vec<&SuiteComparison> {
         self.suites
             .iter()
             .filter(|row| self.row_regressed(row))
+            .collect()
+    }
+
+    /// The missing-suite holes as named [`GateError`]s.
+    pub fn gate_errors(&self) -> Vec<GateError> {
+        self.missing_required
+            .iter()
+            .map(|suite| GateError::MissingRequiredSuite {
+                suite: suite.clone(),
+            })
             .collect()
     }
 
@@ -290,6 +375,8 @@ impl RegressionReport {
                 "info"
             } else if self.row_regressed(row) {
                 "**REGRESSED**"
+            } else if self.row_improved(row) {
+                "ok (**improved**)"
             } else {
                 "ok"
             };
@@ -324,6 +411,27 @@ impl RegressionReport {
             self.max_regression_pct,
             self.benchmark_tolerance_pct(),
         ));
+        let improvements = self.improvements();
+        if !improvements.is_empty() {
+            out.push_str(
+                "\n> [!WARNING]\n> The committed baseline is stale — these required suites now \
+                 run far faster than it:\n",
+            );
+            for row in &improvements {
+                out.push_str(&format!(
+                    "> - `{}`: median {:.3} → {:.3} µs ({:+.1}%)\n",
+                    row.suite,
+                    row.baseline_median_us,
+                    row.current_median_us,
+                    row.change_pct(),
+                ));
+            }
+            out.push_str(
+                "> \n> Regenerate it so the gate re-anchors on the new trajectory:\n\
+                 > `cargo run --release -p apparate-bench --bin bench -- --quick --seed 42 \
+                 --out BENCH_apparate.json`\n",
+            );
+        }
         out
     }
 
@@ -338,6 +446,8 @@ impl RegressionReport {
                 "info"
             } else if self.row_regressed(row) {
                 "REGRESSED"
+            } else if self.row_improved(row) {
+                "ok (improved)"
             } else {
                 "ok"
             };
@@ -355,6 +465,14 @@ impl RegressionReport {
             out.push_str(&format!(
                 "{suite:<13} {:<13} {:>16} {:>16} {:>8}  MISSING\n",
                 "required", "-", "-", "-"
+            ));
+        }
+        for row in self.improvements() {
+            out.push_str(&format!(
+                "warning: suite {} median dropped {:+.1}% below the committed baseline; \
+                 regenerate BENCH_apparate.json to re-anchor the gate\n",
+                row.suite,
+                row.change_pct(),
             ));
         }
         out
@@ -394,7 +512,7 @@ mod tests {
     }
 
     fn baseline_of(reports: &[BenchReport]) -> Vec<BaselineEntry> {
-        parse_baseline(&render_json_lines(42, "quick", reports))
+        parse_baseline(&render_json_lines(42, "quick", reports)).expect("fixture baseline parses")
     }
 
     #[test]
@@ -412,16 +530,57 @@ mod tests {
     }
 
     #[test]
-    fn parsing_skips_header_summary_and_null_medians() {
+    fn parsing_skips_header_and_summary_lines() {
         let text = concat!(
             "{\"schema\":\"apparate-bench/v1\",\"seed\":42,\"mode\":\"quick\",\"suites\":[\"tuning\"]}\n",
             "{\"suite\":\"tuning\",\"benchmark\":\"ok\",\"samples\":3,\"iters\":1,\"median_us\":10.5,\"p95_us\":11,\"p99_us\":12,\"mean_us\":10.6,\"outliers_dropped\":0}\n",
-            "{\"suite\":\"tuning\",\"benchmark\":\"broken\",\"samples\":3,\"iters\":1,\"median_us\":null,\"p95_us\":11,\"p99_us\":12,\"mean_us\":10.6,\"outliers_dropped\":0}\n",
             "{\"schema\":\"apparate-bench/overhead-link/v1\",\"seed\":42,\"scenarios\":3,\"messages\":100,\"bytes\":1000,\"mean_link_latency_ms\":0.4500}\n",
         );
-        let entries = parse_baseline(text);
+        let entries = parse_baseline(text).expect("header and summary lines are not reports");
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].benchmark, "ok");
+    }
+
+    #[test]
+    fn an_empty_baseline_is_a_named_error() {
+        // An empty or truncated committed baseline must not pass the gate as
+        // "nothing regressed".
+        assert_eq!(parse_baseline(""), Err(GateError::EmptyBaseline));
+        // A file with only non-report lines is just as hollow.
+        let headers_only =
+            "{\"schema\":\"apparate-bench/v1\",\"seed\":42,\"mode\":\"quick\",\"suites\":[]}\n";
+        assert_eq!(parse_baseline(headers_only), Err(GateError::EmptyBaseline));
+        assert!(GateError::EmptyBaseline
+            .to_string()
+            .contains("no parseable"));
+    }
+
+    #[test]
+    fn null_or_non_finite_medians_are_named_errors() {
+        // A broken committed run (null median from zero samples, or NaN/inf
+        // from a corrupted edit) cannot anchor the gate.
+        for bad in ["null", "NaN", "inf"] {
+            let text = format!(
+                concat!(
+                    "{{\"suite\":\"tuning\",\"benchmark\":\"ok\",\"median_us\":10.5}}\n",
+                    "{{\"suite\":\"tuning\",\"benchmark\":\"broken\",\"median_us\":{}}}\n",
+                ),
+                bad
+            );
+            assert_eq!(
+                parse_baseline(&text),
+                Err(GateError::NonFiniteMedian {
+                    suite: "tuning".to_string(),
+                    benchmark: "broken".to_string(),
+                }),
+                "median_us:{bad} must be rejected by name"
+            );
+        }
+        let error = GateError::NonFiniteMedian {
+            suite: "tuning".to_string(),
+            benchmark: "broken".to_string(),
+        };
+        assert!(error.to_string().contains("tuning/broken"));
     }
 
     #[test]
@@ -520,6 +679,8 @@ mod tests {
 
     #[test]
     fn a_required_suite_missing_from_the_run_fails() {
+        // "scale" exists in the committed baseline but the fresh run never
+        // produced it: the gate must fail with the hole named.
         let baseline = baseline_of(&full_run(1.0));
         let current: Vec<BenchReport> = full_run(1.0)
             .into_iter()
@@ -528,6 +689,43 @@ mod tests {
         let verdict = compare(&baseline, &current, 25.0);
         assert!(!verdict.passed());
         assert_eq!(verdict.missing_required, vec!["scale".to_string()]);
+        assert_eq!(
+            verdict.gate_errors(),
+            vec![GateError::MissingRequiredSuite {
+                suite: "scale".to_string()
+            }]
+        );
+        assert!(verdict.gate_errors()[0].to_string().contains("scale"));
+    }
+
+    #[test]
+    fn a_large_improvement_warns_to_regenerate_the_baseline() {
+        // Halving a required suite's medians passes the gate but leaves the
+        // committed baseline stale — the report must say so and tell the
+        // author how to re-anchor it.
+        let baseline = baseline_of(&full_run(1.0));
+        let mut current = full_run(1.0);
+        for r in current.iter_mut().filter(|r| r.suite == "tuning") {
+            r.median_us *= 0.5;
+        }
+        let verdict = compare(&baseline, &current, 25.0);
+        assert!(verdict.passed(), "an improvement is not a regression");
+        let improved = verdict.improvements();
+        assert_eq!(improved.len(), 1);
+        assert_eq!(improved[0].suite, "tuning");
+        let md = verdict.render_markdown();
+        assert!(md.contains("ok (**improved**)"));
+        assert!(md.contains("baseline is stale"));
+        assert!(md.contains("--out BENCH_apparate.json"));
+        assert!(verdict
+            .render_text()
+            .contains("regenerate BENCH_apparate.json"));
+        // A drop inside the tolerance stays quiet.
+        let mut mild = full_run(1.0);
+        for r in mild.iter_mut().filter(|r| r.suite == "tuning") {
+            r.median_us *= 0.8;
+        }
+        assert!(compare(&baseline, &mild, 25.0).improvements().is_empty());
     }
 
     #[test]

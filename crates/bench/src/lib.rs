@@ -31,7 +31,7 @@ pub mod report;
 pub mod stats;
 pub mod suites;
 
-pub use compare::{parse_baseline, BaselineEntry, RegressionReport, REQUIRED_SUITES};
+pub use compare::{parse_baseline, BaselineEntry, GateError, RegressionReport, REQUIRED_SUITES};
 pub use harness::{run_bench, BenchConfig};
 pub use report::{escape_json, json_number, render_json_lines, render_table, BenchReport};
 pub use suites::{run_all, run_suite, suite_names, BenchContext, SUITES};

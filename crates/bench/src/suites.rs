@@ -25,8 +25,9 @@ use apparate_baselines::{
     per_ramp_savings_us, vanilla_policy, RampDeployment, StaticExitPolicy, StaticTokenPolicy,
 };
 use apparate_core::{
-    adjust_ramps, feasible_sites, greedy_tune, grid_tune, ramp_utilities, AdjustInput,
-    ApparateConfig, GreedyParams, RampArchitecture, RequestFeedback, ThresholdEvaluator,
+    adjust_ramps, feasible_sites, grid_tune, ramp_utilities, AdjustInput, ApparateConfig,
+    GreedyParams, IncrementalTuner, RampArchitecture, RequestFeedback, ThresholdEvaluator,
+    TuningWindow,
 };
 use apparate_exec::{SampleSemantics, SemanticsModel};
 use apparate_experiments::{
@@ -204,10 +205,22 @@ fn tuning(ctx: &BenchContext) -> Vec<BenchReport> {
         .collect();
     let grid_savings: Vec<f64> = savings.iter().take(2).copied().collect();
 
+    // The controller's live tuning path: the incremental Algorithm 1 over
+    // the monitor's columnar window. A fresh tuner per iteration keeps the
+    // measurement cold (no cross-tune outcome/column cache) — this is the
+    // cost of the first tune after a window change, the worst case.
+    let window = {
+        let mut w = TuningWindow::new(plan.num_ramps(), records.len().max(1));
+        for r in &records {
+            w.push(&r.observations, r.exited, r.correct, r.batch_size);
+        }
+        w
+    };
+
     vec![
         ctx.bench(SUITE, "greedy_tune/validation-window", || {
-            let evaluator = ThresholdEvaluator::new(&records, &savings);
-            greedy_tune(&evaluator, greedy_params(0.01))
+            let mut tuner = IncrementalTuner::new();
+            tuner.tune(&window, &savings, greedy_params(0.01))
         }),
         ctx.bench(SUITE, "grid_tune/2-ramps-step-0.25", || {
             let evaluator = ThresholdEvaluator::new(&grid_records, &grid_savings);
@@ -547,7 +560,9 @@ pub fn overhead_link_summary(
 
 fn overhead(ctx: &BenchContext) -> Vec<BenchReport> {
     const SUITE: &str = "overhead";
-    use apparate_exec::{feedback_link, LinkCost, ProfileRecord, RampObservation, ThresholdUpdate};
+    use apparate_exec::{
+        feedback_link, LinkCost, ProfileRecord, RampObservation, RequestRelease, ThresholdUpdate,
+    };
     use apparate_sim::SimTime;
 
     // Link micro-fixtures: a paper-scale batch profile (~1 KB) and a
@@ -555,19 +570,21 @@ fn overhead(ctx: &BenchContext) -> Vec<BenchReport> {
     let record = |i: u64| ProfileRecord {
         completed_at: SimTime::from_micros(i * 100),
         batch_size: 8,
+        num_ramps: 6,
         observations: vec![
-            vec![
-                RampObservation {
-                    entropy: 0.2,
-                    agrees: true
-                };
-                6
-            ];
-            8
+            RampObservation {
+                entropy: 0.2,
+                agrees: true
+            };
+            6 * 8
         ],
-        request_ids: (i * 8..i * 8 + 8).collect(),
-        exits: vec![Some(2); 8],
-        corrects: vec![true; 8],
+        releases: (i * 8..i * 8 + 8)
+            .map(|id| RequestRelease {
+                id,
+                exit: Some(2),
+                correct: true,
+            })
+            .collect(),
         config_epoch: 0,
     };
     let update = |i: u64| ThresholdUpdate {

@@ -4,15 +4,127 @@
 //! Both mirror the upstream `crossbeam` API shapes, so replacing this stub
 //! with the real crate stays a manifest-only change.
 
-/// Channel types mirroring `crossbeam::channel`. Backed by `std::sync::mpsc`,
-/// which provides the same `Sender`/`Receiver`/`TryRecvError` shape for the
-/// single-consumer pattern the profiler uses.
+/// Channel types mirroring `crossbeam::channel`, for the single-consumer
+/// pattern the profiler uses. Backed by a mutex-guarded `VecDeque` rather
+/// than `std::sync::mpsc`: the feedback links create short-lived channels on
+/// the hot path, and the ring buffer amortises to zero allocations per send
+/// where `mpsc` allocates a list node for every message.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries
+    /// the rejected message like the upstream type.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// No message is queued and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message. Fails only when the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap().senders -= 1;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pop the oldest queued message, or report why none is available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().unwrap();
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap().receiver_alive = false;
+        }
+    }
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 }
 
